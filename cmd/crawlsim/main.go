@@ -1,0 +1,81 @@
+// Command crawlsim reproduces the paper's §5 experiment interactively:
+// it stands up the two instrumented measurement sites, drives the AI
+// crawler fleet at them, and prints the respect report derived from the
+// server logs.
+//
+// Usage:
+//
+//	crawlsim            # passive study + Table 1 report
+//	crawlsim -active    # also run the assistant-crawler active study
+//	crawlsim -apps 200  # number of GPT apps to trigger
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/measure"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		active = flag.Bool("active", false, "also run the §5.2.2 active assistant study")
+		apps   = flag.Int("apps", 120, "GPT apps to exercise in the active study")
+		seed   = flag.Int64("seed", stats.DefaultSeed, "random seed")
+	)
+	flag.Parse()
+
+	passive, err := measure.RunPassive(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawlsim: passive study: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Passive measurement (six-month study, §5.2.1)")
+	fmt.Printf("  crawlers observed: %d\n\n", len(passive.Visitors))
+	fmt.Printf("  %-22s %-36s %s\n", "user agent", "observed behaviour", "IP verified")
+	for _, tok := range passive.Visitors {
+		verified := "-"
+		if v, ok := passive.IPVerified[tok]; ok {
+			if v {
+				verified = "yes"
+			} else {
+				verified = "NO"
+			}
+		}
+		fmt.Printf("  %-22s %-36s %s\n", tok, passive.Verdicts[tok], verified)
+	}
+
+	fmt.Println("\nTable 1 — respect in practice")
+	for _, row := range measure.Table1Rows(passive) {
+		fmt.Printf("  %-22s %-16s claim=%-4s measured=%s\n",
+			row.Agent.UserAgent, row.Agent.Category, row.Agent.ClaimsRespect, row.Measured)
+	}
+
+	if !*active {
+		return
+	}
+	res, err := measure.RunActive(*seed, *apps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawlsim: active study: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nActive measurement (§5.2.2)")
+	var names []string
+	for name := range res.BuiltinVerdicts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  built-in %-28s %s\n", name, res.BuiltinVerdicts[name])
+	}
+	fmt.Printf("  GPT apps probed: %d → %d distinct third-party crawlers\n",
+		res.AppsProbed, res.DistinctCrawlers)
+	fmt.Println("  third-party behaviour mix:")
+	for _, v := range []measure.Verdict{measure.Respected, measure.BuggyRobotsFetch,
+		measure.IntermittentRespect, measure.NotFetched} {
+		fmt.Printf("    %-36s %d\n", v, res.Summary[v])
+	}
+}

@@ -1,0 +1,147 @@
+// Command robotsctl inspects robots.txt files with the RFC 9309 engine
+// from this repository: parse and lint a file, check whether a crawler
+// may fetch a path, and categorize restriction levels the way the paper
+// does.
+//
+// Usage:
+//
+//	robotsctl lint   < robots.txt
+//	robotsctl check  -agent GPTBot -path /gallery/ < robots.txt
+//	robotsctl level  -agent GPTBot < robots.txt
+//	robotsctl agents < robots.txt
+//	robotsctl diff   -old old.txt -new new.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/robots"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	agent := fs.String("agent", "*", "crawler user agent or product token")
+	path := fs.String("path", "/", "request path to check")
+	profile := fs.String("profile", "google", "parser profile: google, strict-rfc, legacy-buggy, classic-1994")
+	oldFile := fs.String("old", "", "previous robots.txt (diff)")
+	newFile := fs.String("new", "", "current robots.txt (diff)")
+	fs.Parse(os.Args[2:])
+
+	if cmd == "diff" {
+		runDiff(*oldFile, *newFile)
+		return
+	}
+
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal("reading stdin: %v", err)
+	}
+	p, ok := profileByName(*profile)
+	if !ok {
+		fatal("unknown profile %q", *profile)
+	}
+	rb := robots.ParseStringProfile(string(body), p)
+
+	switch cmd {
+	case "lint":
+		rep := robots.Lint(string(body))
+		fmt.Printf("groups: %d, rules: %d, mistakes: %d\n", rep.Groups, rep.Rules, rep.Mistakes)
+		for _, w := range rep.Warnings {
+			marker := " "
+			if w.IsMistake() {
+				marker = "!"
+			}
+			fmt.Printf("%s %s\n", marker, w)
+		}
+		if rep.Mistakes > 0 {
+			os.Exit(1)
+		}
+	case "check":
+		allowed := rb.Allowed(*agent, *path)
+		verdict := "allowed"
+		if !allowed {
+			verdict = "disallowed"
+		}
+		fmt.Printf("%s is %s to fetch %s\n", *agent, verdict, *path)
+		if !allowed {
+			os.Exit(1)
+		}
+	case "level":
+		lvl := rb.Restriction(*agent)
+		explicitLvl, explicit := rb.ExplicitRestriction(*agent)
+		fmt.Printf("%s: %s", *agent, lvl)
+		if explicit {
+			fmt.Printf(" (explicitly named: %s)", explicitLvl)
+		} else {
+			fmt.Printf(" (not explicitly named)")
+		}
+		fmt.Println()
+	case "agents":
+		for _, tok := range rb.AgentTokens() {
+			lvl, _ := rb.ExplicitRestriction(tok)
+			fmt.Printf("%-24s %s\n", tok, lvl)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runDiff prints agent-level changes between two robots.txt files — the
+// §3.3 licensing-deal signature detector as a command.
+func runDiff(oldPath, newPath string) {
+	read := func(path string) *robots.Robots {
+		if path == "" {
+			fatal("diff requires -old and -new files")
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal("reading %s: %v", path, err)
+		}
+		return robots.ParseString(string(data))
+	}
+	changes := robots.Diff(read(oldPath), read(newPath))
+	if len(changes) == 0 {
+		fmt.Println("no agent-level changes")
+		return
+	}
+	for _, c := range changes {
+		fmt.Printf("%-24s %-24s %s -> %s\n", c.Agent, c.Kind, c.From, c.To)
+	}
+	os.Exit(1) // non-zero signals "changes found", like diff(1)
+}
+
+func profileByName(name string) (robots.Profile, bool) {
+	for _, p := range []robots.Profile{
+		robots.ProfileGoogle, robots.ProfileStrictRFC,
+		robots.ProfileLegacyBuggy, robots.ProfileClassic1994,
+	} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return robots.Profile{}, false
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: robotsctl <command> [flags] < robots.txt
+commands:
+  lint    report parse warnings and authoring mistakes
+  check   -agent UA -path P   may the crawler fetch the path?
+  level   -agent UA           restriction category for the crawler
+  agents  list explicitly named crawler tokens
+  diff    -old F -new F       agent-level changes between versions`)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "robotsctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command somesite runs the paper-reproduction experiments: every table
+// and figure from "Somesite I Used To Crawl" (IMC '25), regenerated from
+// the simulation substrates in this repository.
+//
+// Usage:
+//
+//	somesite -list
+//	somesite -run figure2,table1
+//	somesite -run all -quick
+//	somesite -run figure7 -seed 7 -scale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "run at reduced scale (fast, CI-friendly)")
+		seed  = flag.Int64("seed", 0, "override the random seed (0 = paper default)")
+		scale = flag.Float64("scale", 0, "override the corpus scale (0 = config default)")
+		md    = flag.Bool("markdown", false, "render results as GitHub-flavored markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	if *quick {
+		cfg = core.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *scale != 0 {
+		cfg.Scale = *scale
+	}
+
+	var selected []core.Experiment
+	if *run == "all" {
+		selected = core.Experiments()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := core.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "somesite: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	exit := 0
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somesite: %s failed: %v\n", e.ID, err)
+			exit = 1
+			continue
+		}
+		render := core.Render
+		if *md {
+			render = core.RenderMarkdown
+		}
+		if err := render(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "somesite: rendering %s: %v\n", e.ID, err)
+			exit = 1
+			continue
+		}
+		if !*md {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,77 @@
+// Artistsite: walk an artist through the §4.4 reality of hosting-provider
+// control — compare what each of the paper's eight providers lets them do
+// about AI crawlers, then show the effect of Squarespace's one-click AI
+// toggle on actual crawler access.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hosting"
+	"repro/internal/robots"
+)
+
+func main() {
+	fmt.Println("An artist shopping for a portfolio host, AI protection edition")
+	fmt.Println()
+	fmt.Printf("%-17s %-12s %-13s %s\n", "provider", "control", "AI by default", "notes")
+	for _, p := range hosting.Providers {
+		rb := robots.ParseString(p.RobotsTxt(false))
+		defaultBlocked := "no"
+		if lvl, ok := rb.ExplicitRestriction("GPTBot"); ok && lvl.Restricted() {
+			defaultBlocked = "yes"
+		}
+		fmt.Printf("%-17s %-12s %-13s %s\n", p.Name, p.Control, defaultBlocked, p.ToSAITraining)
+	}
+
+	// The artist picks Squarespace and flips the AI toggle (Figure 5).
+	sq, _ := hosting.ProviderByName("Squarespace")
+	fmt.Println("\nSquarespace robots.txt with the AI toggle OFF:")
+	fmt.Print(indent(sq.RobotsTxt(false)))
+	fmt.Println("\nSquarespace robots.txt with the AI toggle ON:")
+	fmt.Print(indent(sq.RobotsTxt(true)))
+
+	// What does the toggle change for actual crawlers?
+	fmt.Println("\ncrawler access to /gallery/new-piece.png:")
+	fmt.Printf("%-15s %-12s %s\n", "crawler", "toggle off", "toggle on")
+	off := robots.ParseString(sq.RobotsTxt(false))
+	on := robots.ParseString(sq.RobotsTxt(true))
+	for _, ua := range []string{"GPTBot", "anthropic-ai", "PerplexityBot", "Googlebot", "Bytespider"} {
+		fmt.Printf("%-15s %-12s %s\n", ua,
+			verdict(off.Allowed(ua, "/gallery/new-piece.png")),
+			verdict(on.Allowed(ua, "/gallery/new-piece.png")))
+	}
+	fmt.Println("\nnote: Bytespider stays 'allowed' either way only on paper — §5 shows")
+	fmt.Println("it ignores robots.txt, which is why §6's active blocking exists.")
+
+	// And the population-level view: Table 2.
+	fmt.Println("\nTable 2 regenerated over the 1,182-site artist population:")
+	pop := hosting.GeneratePopulation(0, 1)
+	for _, row := range hosting.Table2(pop) {
+		fmt.Printf("  %-17s %5.1f%% of sites   %-12s %5.1f%% disallow AI\n",
+			row.Provider, row.SharePct, row.Control, row.DisallowAIPct)
+	}
+}
+
+func verdict(allowed bool) string {
+	if allowed {
+		return "allowed"
+	}
+	return "disallowed"
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if start < i {
+				out += "    " + s[start:i] + "\n"
+			} else {
+				out += "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

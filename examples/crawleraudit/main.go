@@ -1,0 +1,110 @@
+// Crawleraudit: stand up an instrumented website on the in-memory
+// network, point the AI crawler fleet at it, and audit — from the server
+// logs alone — which crawlers respect robots.txt. This is the §5
+// methodology as a library user would apply it to their own site.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/crawler"
+	"repro/internal/netsim"
+	"repro/internal/webserver"
+)
+
+func main() {
+	nw := netsim.New()
+
+	// An artist site that disallows every Table 1 AI crawler by name.
+	site, err := webserver.Start(nw, webserver.PerAgentDisallowSite(
+		"portfolio.example", "203.0.113.100", agents.Tokens()))
+	if err != nil {
+		panic(err)
+	}
+	defer site.Close()
+	fmt.Printf("hosting %s with per-agent disallow robots.txt\n\n", site.Domain())
+
+	// A mixed fleet: compliant crawlers, Bytespider's fetch-and-ignore,
+	// and a third-party assistant that never checks robots.txt.
+	fleet := []crawler.Profile{
+		{Token: "GPTBot", SourceIP: "24.0.1.10", Behavior: crawler.Compliant},
+		{Token: "CCBot", SourceIP: "17.0.1.10", Behavior: crawler.Compliant},
+		{Token: "ClaudeBot", SourceIP: "20.0.1.10", Behavior: crawler.Compliant},
+		{Token: "Bytespider", SourceIP: "16.0.1.10", Behavior: crawler.FetchIgnore},
+		{Token: "ShadyAssistant", SourceIP: "99.9.9.9", Behavior: crawler.NoFetch},
+	}
+	ctx := context.Background()
+	for _, p := range fleet {
+		c, err := crawler.New(nw, p)
+		if err != nil {
+			panic(err)
+		}
+		v, err := c.Crawl(ctx, site.URL())
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-15s robots fetched=%-5v pages fetched=%-2d skipped=%d\n",
+			p.Token, v.RobotsRequested, len(v.Fetched), len(v.Skipped))
+	}
+
+	// Now audit from the server's perspective: who asked for robots.txt,
+	// and who took content anyway?
+	fmt.Println("\nserver-side audit:")
+	type evidence struct{ robots, content int }
+	byUA := map[string]*evidence{}
+	for _, rec := range site.Log() {
+		tok := rec.UserAgent
+		if i := lastIndex(tok, "; "); i >= 0 {
+			tok = tok[i+2:]
+		}
+		tok = productToken(tok)
+		ev := byUA[tok]
+		if ev == nil {
+			ev = &evidence{}
+			byUA[tok] = ev
+		}
+		if rec.Path == "/robots.txt" {
+			ev.robots++
+		} else {
+			ev.content++
+		}
+	}
+	for _, p := range fleet {
+		ev := byUA[p.Token]
+		if ev == nil {
+			fmt.Printf("%-15s never visited\n", p.Token)
+			continue
+		}
+		var verdict string
+		switch {
+		case ev.robots > 0 && ev.content == 0:
+			verdict = "RESPECTS robots.txt"
+		case ev.robots > 0:
+			verdict = "fetches robots.txt but IGNORES it"
+		default:
+			verdict = "never fetches robots.txt"
+		}
+		fmt.Printf("%-15s robots=%d content=%d → %s\n", p.Token, ev.robots, ev.content, verdict)
+	}
+}
+
+func lastIndex(s, sub string) int {
+	for i := len(s) - len(sub); i >= 0; i-- {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func productToken(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.') {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+// Longitudinal: regenerate the paper's §3 trend analysis on a reduced
+// synthetic Common-Crawl corpus and print the Figure 2–4 series with
+// terminal sparklines.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/longitudinal"
+)
+
+func main() {
+	fmt.Println("building a 1/10-scale Stable Top 100k corpus (15 snapshots, Oct 2022 – Oct 2024)…")
+	c, err := corpus.New(corpus.Config{Seed: 42, Scale: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  %d analysis sites (%d in the stable top 5k tier)\n\n",
+		len(c.Sites()), c.Top5kCount())
+
+	res, err := longitudinal.Analyze(c)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Figure 2 — % of sites fully disallowing ≥1 AI crawler")
+	fmt.Printf("  %-14s %s  (%.1f%% → %.1f%%)\n", res.Fig2Top5k.Name,
+		res.Fig2Top5k.Sparkline(), res.Fig2Top5k.Points[0].Value, res.Fig2Top5k.Last().Value)
+	fmt.Printf("  %-14s %s  (%.1f%% → %.1f%%)\n", res.Fig2Other.Name,
+		res.Fig2Other.Sparkline(), res.Fig2Other.Points[0].Value, res.Fig2Other.Last().Value)
+
+	fmt.Println("\nFigure 3 — % restricting each agent (end of window)")
+	for _, ua := range []string{"GPTBot", "CCBot", "Google-Extended", "ChatGPT-User",
+		"anthropic-ai", "ClaudeBot", "Claude-Web", "PerplexityBot", "Bytespider", "omgili"} {
+		s := res.Fig3[ua]
+		fmt.Printf("  %-16s %s  %5.2f%%\n", ua, s.Sparkline(), s.Last().Value)
+	}
+
+	fmt.Println("\nFigure 4 — explicit allows and removals")
+	fmt.Printf("  %-22s %s  (ends at %.0f sites)\n", res.Fig4Allowed.Name,
+		res.Fig4Allowed.Sparkline(), res.Fig4Allowed.Last().Value)
+	fmt.Printf("  %-22s %s  (GPTBot removals total: %d)\n", res.Fig4Removed.Name,
+		res.Fig4Removed.Sparkline(), res.GPTBotRemovals)
+
+	fmt.Println("\nTable 4 — earliest GPTBot allowers:")
+	for i, row := range res.Table4 {
+		if i >= 8 {
+			fmt.Printf("  … and %d more\n", len(res.Table4)-i)
+			break
+		}
+		fmt.Printf("  %-28s first seen %s\n", row.Domain, row.FirstSeen)
+	}
+
+	fmt.Printf("\nauthoring quality: %.2f%% of sites have robots.txt mistakes; "+
+		"%.2f%% blanket-disallow everyone\n",
+		100*res.MistakeRate, 100*res.WildcardFullRate)
+}

@@ -1,0 +1,66 @@
+// Quickstart: parse a robots.txt file, ask access questions, and
+// categorize how it restricts AI crawlers — the core primitives every
+// experiment in this repository builds on.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/agents"
+	"repro/internal/robots"
+)
+
+func main() {
+	// The example robots.txt from Figure 1 of the paper.
+	body := `# An example robots.txt file
+User-agent: Googlebot
+Allow: /
+
+User-agent: ChatGPT-User
+User-agent: GPTBot
+Disallow: /
+
+User-agent: *
+Disallow: /secret/
+`
+	rb := robots.ParseString(body)
+
+	fmt.Println("Access checks:")
+	for _, q := range []struct{ ua, path string }{
+		{"Googlebot", "/portfolio/piece1.png"},
+		{"GPTBot", "/portfolio/piece1.png"},
+		{"ChatGPT-User", "/"},
+		{"SomeOtherBot", "/secret/diary.html"},
+		{"SomeOtherBot", "/public/page.html"},
+	} {
+		verdict := "allowed"
+		if !rb.Allowed(q.ua, q.path) {
+			verdict = "disallowed"
+		}
+		fmt.Printf("  %-14s %-26s %s\n", q.ua, q.path, verdict)
+	}
+
+	fmt.Println("\nRestriction categories (the paper's four levels):")
+	for _, ua := range []string{"Googlebot", "GPTBot", "SomeOtherBot"} {
+		fmt.Printf("  %-14s %s\n", ua, rb.Restriction(ua))
+	}
+
+	fmt.Println("\nExplicitly named crawler tokens:")
+	for _, tok := range rb.AgentTokens() {
+		if a, ok := agents.ByToken(tok); ok {
+			fmt.Printf("  %-14s (%s, operated by %s)\n", tok, a.Category, a.Company)
+		} else {
+			fmt.Printf("  %-14s (not an AI crawler from Table 1)\n", tok)
+		}
+	}
+
+	// Building robots.txt programmatically: what Squarespace's AI toggle
+	// would emit for an artist's site.
+	b := robots.NewBuilder()
+	b.Comment("generated for an artist portfolio")
+	b.Group(agents.SquarespaceBlockedAgents...).DisallowAll()
+	b.Group("*").Disallow("/account/")
+	b.Sitemap("https://artist.example/sitemap.xml")
+	fmt.Println("\nGenerated robots.txt with the Squarespace AI-blocking list:")
+	fmt.Print(b.String())
+}

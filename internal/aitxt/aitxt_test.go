@@ -1,0 +1,160 @@
+package aitxt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	p := ParseString(`# ai.txt
+User-Agent: *
+Image: N
+Text: Y
+Disallow: /private/
+Allow: /private/press/
+`)
+	if p.Media[MediaImage] {
+		t.Error("images must be denied")
+	}
+	if !p.Media[MediaText] {
+		t.Error("text must be allowed")
+	}
+	if len(p.Warnings) != 0 {
+		t.Errorf("warnings: %v", p.Warnings)
+	}
+}
+
+func TestPermittedMediaDefaults(t *testing.T) {
+	p := ParseString("Image: N\n")
+	if p.Permitted("/art/piece.png") {
+		t.Error("png is image media; must be denied")
+	}
+	if !p.Permitted("/about.html") {
+		t.Error("html is text; not denied by an image rule")
+	}
+	if !p.Permitted("/song.mp3") {
+		t.Error("audio unspecified; opt-out model defaults to permitted")
+	}
+}
+
+func TestPermittedPatternPrecedence(t *testing.T) {
+	p := ParseString(`Disallow: /private/
+Allow: /private/press/
+`)
+	if p.Permitted("/private/journal.html") {
+		t.Error("disallow pattern must deny")
+	}
+	if !p.Permitted("/private/press/release.html") {
+		t.Error("longer allow must win")
+	}
+	if !p.Permitted("/public/x.html") {
+		t.Error("unmatched paths are permitted")
+	}
+}
+
+func TestPatternsOverrideMedia(t *testing.T) {
+	p := ParseString(`Image: Y
+Disallow: *.png
+`)
+	if p.Permitted("/art/piece.png") {
+		t.Error("extension pattern must beat the media default")
+	}
+	if !p.Permitted("/art/piece.webp") {
+		t.Error("other image formats follow the media default")
+	}
+}
+
+func TestMediaOf(t *testing.T) {
+	cases := map[string]MediaType{
+		"/a/b.PNG":   MediaImage,
+		"/x.mp3":     MediaAudio,
+		"/clip.webm": MediaVideo,
+		"/lib.go":    MediaCode,
+		"/page":      MediaText,
+		"/doc.pdf":   MediaText,
+	}
+	for path, want := range cases {
+		if got := MediaOf(path); got != want {
+			t.Errorf("MediaOf(%q) = %s, want %s", path, got, want)
+		}
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	body := Generate(map[MediaType]bool{MediaImage: false, MediaText: true},
+		[]string{"/drafts/"}, []string{"/drafts/shared/"})
+	p := ParseString(body)
+	if p.Media[MediaImage] || !p.Media[MediaText] {
+		t.Fatalf("media permissions lost in round trip:\n%s", body)
+	}
+	if p.Permitted("/drafts/x.html") {
+		t.Error("disallow lost in round trip")
+	}
+	if !p.Permitted("/drafts/shared/x.html") {
+		t.Error("allow lost in round trip")
+	}
+	if len(p.Warnings) != 0 {
+		t.Errorf("generated file must parse clean: %v", p.Warnings)
+	}
+}
+
+func TestUnknownDirectivesWarn(t *testing.T) {
+	p := ParseString("Frobnicate: yes\nno colon line\n")
+	if len(p.Warnings) != 2 {
+		t.Fatalf("warnings = %v", p.Warnings)
+	}
+}
+
+// The mechanism difference from §2.2: ai.txt changes take effect at
+// training time, even for already-collected data; robots.txt cannot do
+// that.
+func TestRetroactiveOptOut(t *testing.T) {
+	var tp TrainingPipeline
+	tp.Collect(
+		Asset{Site: "artist.example", Path: "/gallery/a.png"},
+		Asset{Site: "artist.example", Path: "/about.html"},
+		Asset{Site: "other.example", Path: "/photo.jpg"},
+	)
+	if tp.CorpusSize() != 3 {
+		t.Fatal("collection failed")
+	}
+
+	// Before any opt-out: everything usable.
+	policies := map[string]*Policy{}
+	lookup := func(site string) *Policy { return policies[site] }
+	if got := len(tp.Filter(lookup)); got != 3 {
+		t.Fatalf("usable = %d, want 3", got)
+	}
+
+	// The artist publishes ai.txt denying images — AFTER the crawl.
+	policies["artist.example"] = ParseString("Image: N\n")
+	usable := tp.Filter(lookup)
+	if len(usable) != 2 {
+		t.Fatalf("usable = %d, want 2 (the png retracted)", len(usable))
+	}
+	for _, a := range usable {
+		if a.Path == "/gallery/a.png" {
+			t.Error("retracted image still usable")
+		}
+	}
+}
+
+func TestPatternMatchesQuick(t *testing.T) {
+	// Property: a metacharacter-free pattern always prefix-matches itself.
+	f := func(s string) bool {
+		clean := strings.NewReplacer("*", "", "$", "", "#", "", ":", "").Replace(s)
+		pat := "/" + clean
+		return patternMatches(pat, pat+"/suffix")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermittedEmptyPolicy(t *testing.T) {
+	p := ParseString("")
+	if !p.Permitted("/anything.png") {
+		t.Fatal("empty ai.txt permits everything")
+	}
+}

@@ -1,0 +1,532 @@
+// Package blocking implements active crawler blocking (§6) and the
+// paper's methodology for detecting it: the user-agent differential probe
+// of §6.1 (visit with a browser user agent, revisit with AI crawler user
+// agents, compare status codes, exceptions and content lengths per
+// [53, 88]) and the §6.2 adoption survey over a top-10k site population.
+//
+// Substitution note: the paper's probe is a Selenium-driven headless
+// Chromium, and 15% of sites block the *tool* via fingerprinting
+// regardless of user agent. Browser fingerprinting has no observable
+// equivalent at the HTTP layer of this simulation, so the prober marks
+// itself with a fingerprint header and "inherently blocking" sites key on
+// that marker; real crawlers (internal/crawler) do not carry it. The
+// detector's logic — and its blindness — are unchanged: it cannot infer
+// anything about sites that block the tool itself, making the measured
+// adoption rate a lower bound exactly as in the paper.
+package blocking
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/robots"
+	"repro/internal/stats"
+	"repro/internal/useragent"
+	"repro/internal/webserver"
+)
+
+// FingerprintHeader is the request header the probe tool carries; it
+// stands in for the browser fingerprint surface real anti-bot services
+// inspect.
+const FingerprintHeader = "X-Client-Fingerprint"
+
+// FingerprintHeadless is the probe tool's fingerprint value.
+const FingerprintHeadless = "headless-chromium-selenium"
+
+// BlockStyle is how a site responds to a blocked request.
+type BlockStyle int
+
+const (
+	// StyleForbidden returns 403 with a short block page.
+	StyleForbidden BlockStyle = iota
+	// StyleChallenge returns a CAPTCHA-like challenge page with 403.
+	StyleChallenge
+	// StyleSoft200 returns HTTP 200 with a stub page instead of content —
+	// detectable only by comparing content lengths (§6.1's length
+	// feature; the ablation bench quantifies what status-only misses).
+	StyleSoft200
+)
+
+// UABlocker blocks requests whose User-Agent contains any pattern.
+type UABlocker struct {
+	Patterns []string
+	Style    BlockStyle
+}
+
+// Check implements webserver.Blocker.
+func (b *UABlocker) Check(r *http.Request) *webserver.BlockDecision {
+	if _, ok := useragent.MatchesAny(r.UserAgent(), b.Patterns); !ok {
+		return nil
+	}
+	switch b.Style {
+	case StyleChallenge:
+		return &webserver.BlockDecision{
+			Status: http.StatusForbidden, Challenge: true,
+			Body: "<html><body><h1>Attention required</h1><p>Complete the CAPTCHA to continue.</p></body></html>",
+		}
+	case StyleSoft200:
+		return &webserver.BlockDecision{
+			Status: http.StatusOK,
+			Body:   "<html><body>unavailable</body></html>",
+		}
+	default:
+		return &webserver.BlockDecision{
+			Status: http.StatusForbidden,
+			Body:   "<html><body><h1>403 Forbidden</h1></body></html>",
+		}
+	}
+}
+
+// AutomationBlocker blocks any client whose fingerprint marks it as an
+// automation tool, regardless of user agent (the sites §6.1 must exclude).
+type AutomationBlocker struct{}
+
+// Check implements webserver.Blocker.
+func (AutomationBlocker) Check(r *http.Request) *webserver.BlockDecision {
+	if r.Header.Get(FingerprintHeader) != "" {
+		return &webserver.BlockDecision{
+			Status: http.StatusForbidden,
+			Body:   "<html><body>automated access denied</body></html>",
+		}
+	}
+	return nil
+}
+
+// Chain composes blockers; the first non-nil decision wins.
+type Chain []webserver.Blocker
+
+// Check implements webserver.Blocker.
+func (c Chain) Check(r *http.Request) *webserver.BlockDecision {
+	for _, b := range c {
+		if d := b.Check(r); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// DetectorOptions selects which §6.1 features the probe compares.
+type DetectorOptions struct {
+	// UseLength enables the content-length comparison (default true via
+	// DefaultDetector). LengthRatio is the relative difference that counts
+	// as significant (0 means 0.5).
+	UseLength   bool
+	LengthRatio float64
+	// UseErrors treats transport errors on the AI crawl as blocking.
+	UseErrors bool
+}
+
+// DefaultDetector is the paper's full feature set.
+var DefaultDetector = DetectorOptions{UseLength: true, LengthRatio: 0.5, UseErrors: true}
+
+// StatusOnlyDetector is the ablation: status codes only.
+var StatusOnlyDetector = DetectorOptions{}
+
+// SiteVerdict is the §6.1 classification of one site.
+type SiteVerdict int
+
+const (
+	// NoInference: the control crawl failed; the site blocks the tool
+	// itself and nothing can be said about AI-specific blocking.
+	NoInference SiteVerdict = iota
+	// BlocksAI: at least one AI user agent got a materially different
+	// response than the control.
+	BlocksAI
+	// NoBlocking: control and AI responses match.
+	NoBlocking
+)
+
+// String names the verdict.
+func (v SiteVerdict) String() string {
+	switch v {
+	case NoInference:
+		return "inherently blocks automation"
+	case BlocksAI:
+		return "actively blocks AI user agents"
+	case NoBlocking:
+		return "no user-agent blocking detected"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeAgents are the two AI user agents the §6 probes use: the most
+// frequently restricted agents without published IP ranges, so sites must
+// block them by user agent.
+var ProbeAgents = []string{"ClaudeBot", "anthropic-ai"}
+
+// Prober runs user-agent differential probes.
+type Prober struct {
+	client  *http.Client
+	options DetectorOptions
+}
+
+// NewProber builds a prober that dials from sourceIP.
+func NewProber(nw *netsim.Network, sourceIP string, opts DetectorOptions) *Prober {
+	if opts.UseLength && opts.LengthRatio == 0 {
+		opts.LengthRatio = 0.5
+	}
+	return &Prober{client: nw.HTTPClient(sourceIP), options: opts}
+}
+
+// ProbeOutcome is one site's differential probe result.
+type ProbeOutcome struct {
+	URL           string
+	Verdict       SiteVerdict
+	ControlStatus int
+	// AIStatus maps each probe agent to its response status (0 = error).
+	AIStatus map[string]int
+}
+
+// Probe runs the §6.1 procedure against one site: control crawl with a
+// Chrome user agent, then one crawl per AI probe agent, all carrying the
+// automation fingerprint (it is the same tool).
+func (p *Prober) Probe(ctx context.Context, siteURL string) (*ProbeOutcome, error) {
+	out := &ProbeOutcome{URL: siteURL, AIStatus: make(map[string]int)}
+	ctrlStatus, ctrlBody, err := p.fetch(ctx, siteURL, useragent.BrowserChromeUA)
+	if err != nil {
+		return nil, fmt.Errorf("blocking: control crawl: %w", err)
+	}
+	out.ControlStatus = ctrlStatus
+	if ctrlStatus != http.StatusOK {
+		out.Verdict = NoInference
+		return out, nil
+	}
+	blocked := false
+	for _, agent := range ProbeAgents {
+		status, body, err := p.fetch(ctx, siteURL, useragent.FullUA(agent, "1.0"))
+		if err != nil {
+			if p.options.UseErrors {
+				blocked = true
+			}
+			out.AIStatus[agent] = 0
+			continue
+		}
+		out.AIStatus[agent] = status
+		if status != ctrlStatus {
+			blocked = true
+			continue
+		}
+		if p.options.UseLength && significantDelta(len(ctrlBody), len(body), p.options.LengthRatio) {
+			blocked = true
+		}
+	}
+	if blocked {
+		out.Verdict = BlocksAI
+	} else {
+		out.Verdict = NoBlocking
+	}
+	return out, nil
+}
+
+func significantDelta(control, ai int, ratio float64) bool {
+	if control == 0 {
+		return ai != 0
+	}
+	diff := control - ai
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff)/float64(control) >= ratio
+}
+
+func (p *Prober) fetch(ctx context.Context, url, ua string) (int, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("User-Agent", ua)
+	req.Header.Set(FingerprintHeader, FingerprintHeadless)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String(), nil
+}
+
+// Population fractions from §6.2, expressed over the top 10k.
+const (
+	// PaperInherentRate: 1,487 of 10,000 sites block the tool itself.
+	PaperInherentRate = 0.1487
+	// PaperUABlockRate: 1,433 of 10,000 block the Anthropic user agents.
+	PaperUABlockRate = 0.1433
+	// PaperRobotsOverlapRate: 35 of the 1,433 also restrict those agents
+	// in robots.txt (§6.2: "only 2%").
+	PaperRobotsOverlapRate = 35.0 / 1433.0
+	// soft200Share is the share of UA blockers that return 200 with a stub
+	// page, detectable only via content length.
+	soft200Share = 0.15
+)
+
+// SiteSpec is the generated ground truth for one survey site.
+type SiteSpec struct {
+	Domain        string
+	IP            string
+	InherentBlock bool
+	UABlock       bool
+	Style         BlockStyle
+	// RobotsRestrictsProbeAgents mirrors the §6.2 overlap measurement.
+	RobotsRestrictsProbeAgents bool
+}
+
+// GeneratePopulation builds n survey sites with the paper's §6.2 mix.
+// Counts are exact (category sizes are rounded, then assigned by shuffled
+// position) so the survey reproduces the paper's proportions at any scale.
+func GeneratePopulation(n int, seed int64) []SiteSpec {
+	rn := stats.NewRand(seed).Fork("blocking-population")
+	nInherent := int(float64(n)*PaperInherentRate + 0.5)
+	nUA := int(float64(n)*PaperUABlockRate + 0.5)
+	nOverlap := int(float64(nUA)*PaperRobotsOverlapRate + 0.5)
+
+	specs := make([]SiteSpec, n)
+	perm := rn.Perm(n)
+	for i := range specs {
+		specs[i] = SiteSpec{
+			Domain: fmt.Sprintf("top%05d.example", i+1),
+			IP:     fmt.Sprintf("10.%d.%d.%d", 10+i/65536, (i/256)%256, i%256),
+		}
+	}
+	// First nInherent shuffled positions block inherently; next nUA block
+	// by user agent.
+	for _, idx := range perm[:nInherent] {
+		specs[idx].InherentBlock = true
+	}
+	uaIdx := perm[nInherent : nInherent+nUA]
+	for j, idx := range uaIdx {
+		specs[idx].UABlock = true
+		switch {
+		case rn.Bool(soft200Share):
+			specs[idx].Style = StyleSoft200
+		case rn.Bool(0.3):
+			specs[idx].Style = StyleChallenge
+		default:
+			specs[idx].Style = StyleForbidden
+		}
+		if j < nOverlap {
+			specs[idx].RobotsRestrictsProbeAgents = true
+		}
+	}
+	return specs
+}
+
+// StartSite hosts one survey site according to its spec.
+func StartSite(nw *netsim.Network, spec SiteSpec, bodySize int) (*webserver.Site, error) {
+	body := "<html><body><h1>" + spec.Domain + "</h1>" +
+		strings.Repeat("<p>content paragraph</p>\n", bodySize/25+1) + "</body></html>"
+	var robotsTxt *string
+	if spec.RobotsRestrictsProbeAgents {
+		txt := "User-agent: ClaudeBot\nUser-agent: anthropic-ai\nDisallow: /\n"
+		robotsTxt = &txt
+	}
+	var chain Chain
+	if spec.InherentBlock {
+		chain = append(chain, AutomationBlocker{})
+	}
+	if spec.UABlock {
+		chain = append(chain, &UABlocker{Patterns: ProbeAgents, Style: spec.Style})
+	}
+	cfg := webserver.Config{
+		Domain:    spec.Domain,
+		IP:        spec.IP,
+		RobotsTxt: robotsTxt,
+		Pages:     map[string]webserver.Page{"/": {Body: body}},
+	}
+	if len(chain) > 0 {
+		cfg.Blocker = chain
+	}
+	return webserver.Start(nw, cfg)
+}
+
+// SurveyResult aggregates the §6.2 measurement.
+type SurveyResult struct {
+	Probed            int
+	InherentlyBlocked int
+	ActiveBlockers    int
+	NoBlocking        int
+	// RobotsOverlap counts detected blockers that also restrict the probe
+	// agents in robots.txt (the paper's 35-of-1,433 finding).
+	RobotsOverlap int
+}
+
+// RunSurvey generates a population of n sites, hosts them, probes each
+// with the §6.1 detector, and checks robots.txt overlap for detected
+// blockers. workers bounds probe concurrency.
+func RunSurvey(n int, seed int64, workers int, opts DetectorOptions) (*SurveyResult, error) {
+	if workers <= 0 {
+		workers = 32
+	}
+	nw := netsim.New()
+	specs := GeneratePopulation(n, seed)
+	sizeRand := stats.NewRand(seed).Fork("body-sizes")
+	sites := make([]*webserver.Site, 0, len(specs))
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	for _, spec := range specs {
+		site, err := StartSite(nw, spec, 1500+sizeRand.Intn(3000))
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, site)
+	}
+
+	prober := func() *Prober { return NewProber(nw, "198.51.100.200", opts) }
+	type job struct{ i int }
+	verdicts := make([]SiteVerdict, len(specs))
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := prober()
+			for j := range jobs {
+				out, err := p.Probe(context.Background(), "http://"+specs[j.i].Domain+"/")
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				verdicts[j.i] = out.Verdict
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &SurveyResult{Probed: len(specs)}
+	client := nw.HTTPClient("198.51.100.201")
+	for i, v := range verdicts {
+		switch v {
+		case NoInference:
+			res.InherentlyBlocked++
+		case BlocksAI:
+			res.ActiveBlockers++
+			if robotsRestricts(client, specs[i].Domain) {
+				res.RobotsOverlap++
+			}
+		case NoBlocking:
+			res.NoBlocking++
+		}
+	}
+	return res, nil
+}
+
+// robotsRestricts fetches the site's robots.txt with a neutral user agent
+// and reports whether it explicitly restricts either probe agent.
+func robotsRestricts(client *http.Client, domain string) bool {
+	req, err := http.NewRequest(http.MethodGet, "http://"+domain+"/robots.txt", nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("User-Agent", "robots-survey/1.0")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	rb := parseRobots(sb.String())
+	for _, agent := range ProbeAgents {
+		if lvl, explicit := rb.ExplicitRestriction(agent); explicit && lvl.Restricted() {
+			return true
+		}
+	}
+	return false
+}
+
+// parseRobots is a tiny indirection for testability.
+func parseRobots(body string) *robots.Robots { return robots.ParseString(body) }
+
+// LabyrinthBlocker implements the "serve fake content" blocking style
+// (§2.2, Cloudflare's AI Labyrinth [110]): matched crawlers receive
+// generated decoy pages whose links lead only to more decoys, wasting the
+// crawler's budget without ever returning real content or an error it
+// could detect.
+type LabyrinthBlocker struct {
+	// Patterns are the user-agent substrings to trap.
+	Patterns []string
+}
+
+// Check implements webserver.Blocker.
+func (b *LabyrinthBlocker) Check(r *http.Request) *webserver.BlockDecision {
+	if _, ok := useragent.MatchesAny(r.UserAgent(), b.Patterns); !ok {
+		return nil
+	}
+	return &webserver.BlockDecision{
+		Status: http.StatusOK,
+		Body:   decoyPage(r.URL.Path),
+	}
+}
+
+// decoyPage deterministically generates a plausible page whose links all
+// stay inside the maze.
+func decoyPage(path string) string {
+	h := fnv32(path)
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>Archive section ")
+	sb.WriteString(hexByte(byte(h)))
+	sb.WriteString("</title></head><body>\n<h1>Archive</h1>\n")
+	for i := 0; i < 4; i++ {
+		h = h*1664525 + 1013904223
+		sb.WriteString("<p>Entry ")
+		sb.WriteString(hexByte(byte(h >> 8)))
+		sb.WriteString(": procedurally generated filler prose that resembles ")
+		sb.WriteString("an article body but carries no information.</p>\n")
+		sb.WriteString(`<a href="/maze/` + hexByte(byte(h>>16)) + hexByte(byte(h>>24)) + `.html">continue</a>` + "\n")
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func hexByte(b byte) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{digits[b>>4], digits[b&0xf]})
+}

@@ -1,0 +1,324 @@
+package blocking
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/netsim"
+	"repro/internal/useragent"
+	"repro/internal/webserver"
+)
+
+func TestUABlockerStyles(t *testing.T) {
+	mk := func(style BlockStyle) *UABlocker {
+		return &UABlocker{Patterns: []string{"ClaudeBot"}, Style: style}
+	}
+	req, _ := http.NewRequest("GET", "http://x/", nil)
+	req.Header.Set("User-Agent", useragent.FullUA("ClaudeBot", "1.0"))
+
+	if d := mk(StyleForbidden).Check(req); d == nil || d.Status != 403 || d.Challenge {
+		t.Fatalf("forbidden style = %+v", d)
+	}
+	if d := mk(StyleChallenge).Check(req); d == nil || !d.Challenge {
+		t.Fatalf("challenge style = %+v", d)
+	}
+	if d := mk(StyleSoft200).Check(req); d == nil || d.Status != 200 {
+		t.Fatalf("soft-200 style = %+v", d)
+	}
+	// Non-matching UA passes.
+	req2, _ := http.NewRequest("GET", "http://x/", nil)
+	req2.Header.Set("User-Agent", useragent.BrowserChromeUA)
+	if d := mk(StyleForbidden).Check(req2); d != nil {
+		t.Fatal("browser UA must pass")
+	}
+}
+
+func TestAutomationBlocker(t *testing.T) {
+	req, _ := http.NewRequest("GET", "http://x/", nil)
+	req.Header.Set("User-Agent", useragent.BrowserChromeUA)
+	if d := (AutomationBlocker{}).Check(req); d != nil {
+		t.Fatal("no fingerprint → pass")
+	}
+	req.Header.Set(FingerprintHeader, FingerprintHeadless)
+	if d := (AutomationBlocker{}).Check(req); d == nil || d.Status != 403 {
+		t.Fatal("fingerprinted tool must be blocked")
+	}
+}
+
+func TestChainFirstDecisionWins(t *testing.T) {
+	c := Chain{
+		AutomationBlocker{},
+		&UABlocker{Patterns: []string{"ClaudeBot"}, Style: StyleSoft200},
+	}
+	req, _ := http.NewRequest("GET", "http://x/", nil)
+	req.Header.Set("User-Agent", useragent.FullUA("ClaudeBot", "1.0"))
+	req.Header.Set(FingerprintHeader, FingerprintHeadless)
+	if d := c.Check(req); d == nil || d.Status != 403 {
+		t.Fatal("automation blocker must take precedence")
+	}
+}
+
+func TestProbeVerdicts(t *testing.T) {
+	nw := netsim.New()
+	cases := []struct {
+		name string
+		spec SiteSpec
+		want SiteVerdict
+		opts DetectorOptions
+	}{
+		{"open site", SiteSpec{Domain: "open.example", IP: "10.1.0.1"}, NoBlocking, DefaultDetector},
+		{"ua blocker 403", SiteSpec{Domain: "ua403.example", IP: "10.1.0.2", UABlock: true, Style: StyleForbidden}, BlocksAI, DefaultDetector},
+		{"ua blocker challenge", SiteSpec{Domain: "uach.example", IP: "10.1.0.3", UABlock: true, Style: StyleChallenge}, BlocksAI, DefaultDetector},
+		{"ua blocker soft200", SiteSpec{Domain: "soft.example", IP: "10.1.0.4", UABlock: true, Style: StyleSoft200}, BlocksAI, DefaultDetector},
+		{"soft200 invisible to status-only", SiteSpec{Domain: "soft2.example", IP: "10.1.0.5", UABlock: true, Style: StyleSoft200}, NoBlocking, StatusOnlyDetector},
+		{"inherent blocker", SiteSpec{Domain: "inh.example", IP: "10.1.0.6", InherentBlock: true}, NoInference, DefaultDetector},
+		{"inherent + ua", SiteSpec{Domain: "both.example", IP: "10.1.0.7", InherentBlock: true, UABlock: true}, NoInference, DefaultDetector},
+	}
+	for _, tc := range cases {
+		site, err := StartSite(nw, tc.spec, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		p := NewProber(nw, "198.51.100.220", tc.opts)
+		out, err := p.Probe(context.Background(), site.URL()+"/")
+		site.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if out.Verdict != tc.want {
+			t.Errorf("%s: verdict = %v, want %v", tc.name, out.Verdict, tc.want)
+		}
+	}
+}
+
+func TestRealCrawlerNotInherentlyBlocked(t *testing.T) {
+	// A real crawler (no fingerprint header) passes an inherent blocker —
+	// the lower-bound property the paper notes.
+	nw := netsim.New()
+	spec := SiteSpec{Domain: "inh2.example", IP: "10.1.0.8", InherentBlock: true}
+	site, err := StartSite(nw, spec, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("24.0.1.50")
+	req, _ := http.NewRequest("GET", site.URL()+"/", nil)
+	req.Header.Set("User-Agent", useragent.FullUA("GPTBot", "1.0"))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("real crawler got %d; inherent blocking must only hit the probe tool", resp.StatusCode)
+	}
+}
+
+func TestGeneratePopulationCounts(t *testing.T) {
+	n := 2000
+	specs := GeneratePopulation(n, 5)
+	if len(specs) != n {
+		t.Fatalf("population = %d", len(specs))
+	}
+	var inherent, ua, overlap int
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Domain] || seen[s.IP] {
+			t.Fatalf("duplicate domain or IP: %+v", s)
+		}
+		seen[s.Domain], seen[s.IP] = true, true
+		if s.InherentBlock {
+			inherent++
+			if s.UABlock {
+				t.Fatal("categories must be disjoint")
+			}
+		}
+		if s.UABlock {
+			ua++
+			if s.RobotsRestrictsProbeAgents {
+				overlap++
+			}
+		} else if s.RobotsRestrictsProbeAgents {
+			t.Fatal("robots overlap only applies to UA blockers")
+		}
+	}
+	wantInherent := int(float64(n)*PaperInherentRate + 0.5)
+	wantUA := int(float64(n)*PaperUABlockRate + 0.5)
+	if inherent != wantInherent {
+		t.Errorf("inherent = %d, want %d", inherent, wantInherent)
+	}
+	if ua != wantUA {
+		t.Errorf("ua blockers = %d, want %d", ua, wantUA)
+	}
+	wantOverlap := int(float64(wantUA)*PaperRobotsOverlapRate + 0.5)
+	if overlap != wantOverlap {
+		t.Errorf("robots overlap = %d, want %d", overlap, wantOverlap)
+	}
+}
+
+func TestRunSurveySmall(t *testing.T) {
+	n := 400
+	res, err := RunSurvey(n, 9, 16, DefaultDetector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probed != n {
+		t.Fatalf("probed = %d", res.Probed)
+	}
+	wantInherent := int(float64(n)*PaperInherentRate + 0.5)
+	wantUA := int(float64(n)*PaperUABlockRate + 0.5)
+	if res.InherentlyBlocked != wantInherent {
+		t.Errorf("inherently blocked = %d, want %d", res.InherentlyBlocked, wantInherent)
+	}
+	if res.ActiveBlockers != wantUA {
+		t.Errorf("active blockers = %d, want %d (detector must find them all)",
+			res.ActiveBlockers, wantUA)
+	}
+	wantOverlap := int(float64(wantUA)*PaperRobotsOverlapRate + 0.5)
+	if res.RobotsOverlap != wantOverlap {
+		t.Errorf("robots overlap = %d, want %d", res.RobotsOverlap, wantOverlap)
+	}
+	if res.NoBlocking != n-wantInherent-wantUA {
+		t.Errorf("no-blocking = %d", res.NoBlocking)
+	}
+}
+
+func TestStatusOnlyDetectorUndercounts(t *testing.T) {
+	n := 400
+	full, err := RunSurvey(n, 9, 16, DefaultDetector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusOnly, err := RunSurvey(n, 9, 16, StatusOnlyDetector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statusOnly.ActiveBlockers >= full.ActiveBlockers {
+		t.Errorf("status-only (%d) must miss the soft-200 blockers full (%d) catches",
+			statusOnly.ActiveBlockers, full.ActiveBlockers)
+	}
+}
+
+func TestSignificantDelta(t *testing.T) {
+	if !significantDelta(1000, 100, 0.5) {
+		t.Error("90% shrink is significant")
+	}
+	if significantDelta(1000, 900, 0.5) {
+		t.Error("10% shrink is not significant at ratio 0.5")
+	}
+	if !significantDelta(0, 10, 0.5) {
+		t.Error("growth from zero is significant")
+	}
+	if significantDelta(0, 0, 0.5) {
+		t.Error("zero vs zero is not significant")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[SiteVerdict]string{
+		NoInference:     "inherently blocks automation",
+		BlocksAI:        "actively blocks AI user agents",
+		NoBlocking:      "no user-agent blocking detected",
+		SiteVerdict(42): "unknown",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("%d = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBlockerAgainstRealServerLog(t *testing.T) {
+	// End-to-end: blocked requests appear in the site log with their
+	// block status, like §6's server-side evidence.
+	nw := netsim.New()
+	spec := SiteSpec{Domain: "log.example", IP: "10.1.0.9", UABlock: true, Style: StyleForbidden}
+	site, err := StartSite(nw, spec, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	p := NewProber(nw, "198.51.100.221", DefaultDetector)
+	if _, err := p.Probe(context.Background(), site.URL()+"/"); err != nil {
+		t.Fatal(err)
+	}
+	var saw403 bool
+	for _, rec := range site.Log() {
+		if rec.Status == 403 {
+			saw403 = true
+		}
+	}
+	if !saw403 {
+		t.Fatal("block decisions must be visible in the server log")
+	}
+	_ = webserver.Record{}
+}
+
+// The Labyrinth style: a non-compliant crawler gets trapped in decoy
+// pages and never reaches real content.
+func TestLabyrinthTrapsCrawler(t *testing.T) {
+	nw := netsim.New()
+	cfg := webserver.Config{
+		Domain: "maze.example", IP: "10.1.0.20",
+		Pages:   webserver.ContentPages("maze.example"),
+		Blocker: &LabyrinthBlocker{Patterns: []string{"Bytespider"}},
+	}
+	site, err := webserver.Start(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	cr, err := crawler.New(nw, crawler.Profile{
+		Token: "Bytespider", SourceIP: "16.0.1.40",
+		Behavior: crawler.NoFetch, MaxPages: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cr.Crawl(context.Background(), site.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crawler exhausted its page budget…
+	if len(v.Fetched) != 12 {
+		t.Fatalf("fetched %d pages, want the full budget of 12", len(v.Fetched))
+	}
+	// …but every page after the root was a maze decoy, and the real
+	// content was never served.
+	for _, p := range v.Fetched[1:] {
+		if !strings.HasPrefix(p, "/maze/") {
+			t.Errorf("crawler escaped the maze to %s", p)
+		}
+	}
+	for _, rec := range site.Log() {
+		if rec.Status != 200 {
+			t.Errorf("labyrinth must look like success, got %d for %s", rec.Status, rec.Path)
+		}
+	}
+	// A browser still sees the real site.
+	client := nw.HTTPClient("198.51.100.99")
+	req, _ := http.NewRequest("GET", site.URL()+"/", nil)
+	req.Header.Set("User-Agent", useragent.BrowserChromeUA)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "Welcome") {
+		t.Error("browser must receive the real page")
+	}
+}
+
+func TestDecoyPageDeterministic(t *testing.T) {
+	if decoyPage("/a") != decoyPage("/a") {
+		t.Fatal("decoys must be deterministic per path")
+	}
+	if decoyPage("/a") == decoyPage("/b") {
+		t.Fatal("different paths get different decoys")
+	}
+}

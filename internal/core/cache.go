@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/longitudinal"
+)
+
+// longitudinalCache memoizes the corpus build + analysis, which several
+// experiments (Figures 2–4, Tables 3–4, the lint rate) share. Keyed by
+// (seed, scale).
+type longitudinalCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*longitudinal.Result
+}
+
+type cacheKey struct {
+	seed  int64
+	scale float64
+}
+
+var longCache = &longitudinalCache{entries: make(map[cacheKey]*longitudinal.Result)}
+
+// analyzed returns the longitudinal analysis for cfg, computing it once.
+func analyzed(cfg Config) (*longitudinal.Result, error) {
+	key := cacheKey{cfg.Seed, cfg.Scale}
+	longCache.mu.Lock()
+	defer longCache.mu.Unlock()
+	if res, ok := longCache.entries[key]; ok {
+		return res, nil
+	}
+	c, err := corpus.New(corpus.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	res, err := longitudinal.Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	longCache.entries[key] = res
+	return res, nil
+}

@@ -1,0 +1,179 @@
+// Package core is the experiment registry: every table and figure in the
+// paper's evaluation is a named, runnable Experiment that drives the
+// substrate packages and renders results in the paper's shape. The
+// cmd/somesite binary and the benchmark harness are thin wrappers around
+// this package.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Config parameterizes experiment runs. The zero value is not usable; use
+// DefaultConfig (paper scale) or QuickConfig (CI scale).
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Scale multiplies the longitudinal corpus populations (1.0 = the
+	// paper's 40,455 analysis sites).
+	Scale float64
+	// BlockingSites is the §6.2 survey population (paper: 10,000).
+	BlockingSites int
+	// CloudflareSites is the §6.3 survey population (paper: 2,018).
+	CloudflareSites int
+	// Apps is the number of GPT apps exercised in §5.2.2.
+	Apps int
+	// Workers bounds probe concurrency.
+	Workers int
+}
+
+// DefaultConfig runs experiments at the paper's full scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            stats.DefaultSeed,
+		Scale:           1.0,
+		BlockingSites:   10_000,
+		CloudflareSites: 2_018,
+		Apps:            120,
+		Workers:         64,
+	}
+}
+
+// QuickConfig runs everything at reduced scale, suitable for tests.
+func QuickConfig() Config {
+	return Config{
+		Seed:            stats.DefaultSeed,
+		Scale:           0.08,
+		BlockingSites:   600,
+		CloudflareSites: 400,
+		Apps:            60,
+		Workers:         16,
+	}
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// Section is one heading plus its content.
+type Section struct {
+	Heading string
+	Table   *Table
+	Series  []stats.Series
+	Notes   []string
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID       string
+	Title    string
+	Sections []Section
+}
+
+// Experiment is a runnable reproduction of one paper artifact.
+type Experiment struct {
+	// ID is the registry key ("figure2", "table1", …).
+	ID string
+	// Title describes the artifact in the paper's terms.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Result, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   []Experiment
+)
+
+func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry = append(registry, e)
+}
+
+// Experiments returns all registered experiments in registration order.
+func Experiments() []Experiment {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return append([]Experiment(nil), registry...)
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Render writes a result as aligned text.
+func Render(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "=== %s — %s ===\n", res.ID, res.Title); err != nil {
+		return err
+	}
+	for _, sec := range res.Sections {
+		if sec.Heading != "" {
+			fmt.Fprintf(w, "\n%s\n", sec.Heading)
+		}
+		if sec.Table != nil {
+			renderTable(w, sec.Table)
+		}
+		for _, s := range sec.Series {
+			fmt.Fprintf(w, "  %-24s %s  (last %.2f, max %.2f)\n",
+				s.Name, s.Sparkline(), s.Last().Value, s.Max())
+		}
+		for _, note := range sec.Notes {
+			fmt.Fprintf(w, "  note: %s\n", note)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func renderTable(w io.Writer, t *Table) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		sb.WriteString("  ")
+		for i, cell := range cells {
+			pad := widths[i] - len(cell)
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", pad+2))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// pct formats a percentage cell.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// count formats an integer cell.
+func count(v int) string { return fmt.Sprintf("%d", v) }

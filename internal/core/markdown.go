@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMarkdown writes a result as GitHub-flavored markdown, so
+// experiment output can be pasted into reports like EXPERIMENTS.md.
+func RenderMarkdown(w io.Writer, res *Result) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", res.ID, res.Title); err != nil {
+		return err
+	}
+	for _, sec := range res.Sections {
+		if sec.Heading != "" {
+			fmt.Fprintf(w, "\n### %s\n", sec.Heading)
+		}
+		if sec.Table != nil {
+			fmt.Fprintln(w)
+			writeMarkdownTable(w, sec.Table)
+		}
+		if len(sec.Series) > 0 {
+			fmt.Fprintln(w)
+			for _, s := range sec.Series {
+				fmt.Fprintf(w, "- `%s` %s (last %.2f, max %.2f)\n",
+					s.Name, s.Sparkline(), s.Last().Value, s.Max())
+			}
+		}
+		if len(sec.Notes) > 0 {
+			fmt.Fprintln(w)
+			for _, n := range sec.Notes {
+				fmt.Fprintf(w, "> %s\n", n)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func writeMarkdownTable(w io.Writer, t *Table) {
+	esc := func(s string) string {
+		return strings.ReplaceAll(s, "|", "\\|")
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		out := make([]string, len(t.Headers))
+		for i := range out {
+			if i < len(row) {
+				out[i] = esc(row[i])
+			}
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(out, " | "))
+	}
+}

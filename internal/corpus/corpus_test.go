@@ -1,0 +1,387 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/robots"
+)
+
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := New(Config{Seed: 11, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSnapshotTable(t *testing.T) {
+	if len(Snapshots) != 15 {
+		t.Fatalf("snapshots = %d, want 15 (Table 3)", len(Snapshots))
+	}
+	for i := 1; i < len(Snapshots); i++ {
+		if !Snapshots[i-1].Date.Before(Snapshots[i].Date) {
+			t.Errorf("snapshot dates not increasing at %d", i)
+		}
+	}
+	// Table 3 totals from the paper.
+	if Snapshots[0].TargetSites != 40177 || Snapshots[0].TargetRobots != 31494 {
+		t.Error("first snapshot targets wrong")
+	}
+	if Snapshots[14].ID != "2024-42" || Snapshots[14].TargetSites != 40420 {
+		t.Error("last snapshot targets wrong")
+	}
+	if SnapshotIndex("2023-40") != 5 {
+		t.Errorf("2023-40 index = %d, want 5 (GPTBot announcement)", SnapshotIndex("2023-40"))
+	}
+	if SnapshotIndex("nope") != -1 {
+		t.Error("unknown snapshot must be -1")
+	}
+	if GPTBotAnnouncedIndex != SnapshotIndex("2023-40") {
+		t.Error("announcement index constant out of sync")
+	}
+	if EUAIActIndex != SnapshotIndex("2024-33") {
+		t.Error("EU AI Act index constant out of sync")
+	}
+}
+
+func TestTable4Data(t *testing.T) {
+	if len(Table4) != 78 {
+		t.Fatalf("Table 4 rows = %d, want 78", len(Table4))
+	}
+	seen := map[string]bool{}
+	for _, r := range Table4 {
+		if seen[r.Domain] {
+			t.Errorf("duplicate Table 4 domain %s", r.Domain)
+		}
+		seen[r.Domain] = true
+		if SnapshotIndex(r.FirstSeen) < 0 {
+			t.Errorf("%s: unknown snapshot %s", r.Domain, r.FirstSeen)
+		}
+	}
+	// Five persistent allowers since GPTBot's release (§ B.3).
+	early := 0
+	for _, r := range Table4 {
+		if idx := SnapshotIndex(r.FirstSeen); idx <= SnapshotIndex("2023-50") {
+			early++
+		}
+	}
+	if early != 5 {
+		t.Errorf("early allowers = %d, want 5 (nfhs, 10best, ground, network54, tarleton)", early)
+	}
+}
+
+func TestDealsData(t *testing.T) {
+	if len(Deals) != 6 {
+		t.Fatalf("deals = %d, want 6", len(Deals))
+	}
+	for _, d := range Deals {
+		if SnapshotIndex(d.EffectiveSnapshot) < 0 {
+			t.Errorf("%s: bad snapshot %s", d.Publisher, d.EffectiveSnapshot)
+		}
+		if len(d.Domains) == 0 {
+			t.Errorf("%s: no domains", d.Publisher)
+		}
+	}
+	// Vox Media's explicit-allow domains must all be Table 4 rows.
+	t4 := map[string]bool{}
+	for _, r := range Table4 {
+		t4[r.Domain] = true
+	}
+	for _, d := range Deals {
+		if !d.ExplicitAllow {
+			continue
+		}
+		for _, dom := range d.Domains {
+			if !t4[dom] {
+				t.Errorf("%s: explicit-allow domain %s missing from Table 4", d.Publisher, dom)
+			}
+		}
+	}
+	// Future PLC is the suspected private deal.
+	for _, d := range Deals {
+		if d.Publisher == "Future PLC" && d.Public {
+			t.Error("Future PLC must be non-public (§3.3)")
+		}
+	}
+}
+
+func TestCorpusConstruction(t *testing.T) {
+	c := testCorpus(t)
+	if len(c.Sites()) == 0 {
+		t.Fatal("no sites")
+	}
+	// Top tier first.
+	for i, s := range c.Sites() {
+		if (i < c.Top5kCount()) != s.Top5k {
+			t.Fatalf("site %d top5k flag inconsistent with ordering", i)
+		}
+	}
+	// All pinned domains present.
+	for _, d := range PinnedDomains() {
+		if _, ok := c.SiteByDomain(d); !ok {
+			t.Errorf("pinned domain %s missing", d)
+		}
+	}
+	if c.NonRobotsCount() == 0 {
+		t.Error("non-robots population missing")
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	c1 := testCorpus(t)
+	c2 := testCorpus(t)
+	if len(c1.Sites()) != len(c2.Sites()) {
+		t.Fatal("site counts differ")
+	}
+	for i := range c1.Sites() {
+		s1, s2 := c1.Sites()[i], c2.Sites()[i]
+		if s1.Domain != s2.Domain || len(s1.Events) != len(s2.Events) {
+			t.Fatalf("site %d differs between identical-seed corpora", i)
+		}
+	}
+	s := c1.Sites()[len(c1.Sites())/2]
+	if c1.RobotsBody(s, 14) != c2.RobotsBody(c2.Sites()[len(c2.Sites())/2], 14) {
+		t.Fatal("rendered bodies differ")
+	}
+}
+
+func TestRenderedBodiesParse(t *testing.T) {
+	c := testCorpus(t)
+	mistakes, total := 0, 0
+	for _, s := range c.Sites()[:200] {
+		body := c.RobotsBody(s, 14)
+		rep := robots.Lint(body)
+		total++
+		if rep.Mistakes > 0 {
+			mistakes++
+			if !s.hasMistake {
+				t.Errorf("%s: unexpected lint mistakes: %v", s.Domain, rep.Warnings)
+			}
+		} else if s.hasMistake {
+			t.Errorf("%s: mistake trait not rendered", s.Domain)
+		}
+		if rep.Groups == 0 {
+			t.Errorf("%s: rendered body has no groups", s.Domain)
+		}
+	}
+	if mistakes == total {
+		t.Error("every file has mistakes; injection rate broken")
+	}
+}
+
+func TestVoxDealTimeline(t *testing.T) {
+	c := testCorpus(t)
+	s, ok := c.SiteByDomain("vox.com")
+	if !ok {
+		t.Fatal("vox.com missing")
+	}
+	// Before the deal: GPTBot fully disallowed (from the surge snapshot).
+	body := c.RobotsBody(s, 8)
+	rb := robots.ParseString(body)
+	if lvl, explicit := rb.ExplicitRestriction("GPTBot"); !explicit || lvl != robots.FullyDisallowed {
+		t.Errorf("pre-deal vox.com GPTBot = %v explicit=%v, want fully disallowed", lvl, explicit)
+	}
+	// After the deal (snapshot 14 = 2024-42): explicit allow.
+	body = c.RobotsBody(s, 14)
+	rb = robots.ParseString(body)
+	if !rb.ExplicitlyAllows("GPTBot") {
+		t.Errorf("post-deal vox.com must explicitly allow GPTBot:\n%s", body)
+	}
+}
+
+func TestEarlyAllowerTimeline(t *testing.T) {
+	c := testCorpus(t)
+	s, ok := c.SiteByDomain("nfhs.org")
+	if !ok {
+		t.Fatal("nfhs.org missing")
+	}
+	// First seen at 2023-40 (index 5) and persistent through the end.
+	for k := 5; k <= 14; k++ {
+		rb := robots.ParseString(c.RobotsBody(s, k))
+		if !rb.ExplicitlyAllows("GPTBot") {
+			t.Errorf("nfhs.org must allow GPTBot at snapshot %d", k)
+		}
+	}
+	rb := robots.ParseString(c.RobotsBody(s, 4))
+	if rb.ExplicitlyAllows("GPTBot") {
+		t.Error("nfhs.org must not allow GPTBot before its first-seen snapshot")
+	}
+}
+
+func TestStackExchangeRemoval(t *testing.T) {
+	c := testCorpus(t)
+	s, ok := c.SiteByDomain("stackoverflow.com")
+	if !ok {
+		t.Fatal("stackoverflow.com missing")
+	}
+	dealIdx := SnapshotIndex("2024-22")
+	rb := robots.ParseString(c.RobotsBody(s, dealIdx-1))
+	if _, explicit := rb.ExplicitRestriction("GPTBot"); !explicit {
+		t.Error("stackoverflow must restrict GPTBot before the deal")
+	}
+	if _, explicit := rb.ExplicitRestriction("ChatGPT-User"); !explicit {
+		t.Error("stackoverflow must restrict ChatGPT-User before the deal")
+	}
+	rb = robots.ParseString(c.RobotsBody(s, dealIdx))
+	if _, explicit := rb.ExplicitRestriction("GPTBot"); explicit {
+		t.Error("stackoverflow must drop the GPTBot restriction at the deal")
+	}
+	if _, explicit := rb.ExplicitRestriction("ChatGPT-User"); explicit {
+		t.Error("the deal removes both OpenAI agents")
+	}
+}
+
+func TestStateFoldingSemantics(t *testing.T) {
+	c := testCorpus(t)
+	s := &Site{Domain: "fold.test", Events: []Event{
+		{Snap: 1, Kind: EventAddRestriction, Agents: []string{"GPTBot"}, Full: true},
+		{Snap: 2, Kind: EventAddRestriction, Agents: []string{"CCBot"}, Full: false},
+		{Snap: 3, Kind: EventExplicitAllow, Agents: []string{"GPTBot"}},
+		{Snap: 4, Kind: EventRemoveRestriction},
+	}}
+	st := c.StateAt(s, 0)
+	if st.Restricted() {
+		t.Error("no events yet at snapshot 0")
+	}
+	st = c.StateAt(s, 2)
+	if !st.Full["GPTBot"] || !st.Partial["CCBot"] {
+		t.Errorf("state at 2 = %+v", st)
+	}
+	st = c.StateAt(s, 3)
+	if st.Full["GPTBot"] || !st.Allowed["GPTBot"] {
+		t.Error("allow must clear the restriction")
+	}
+	st = c.StateAt(s, 4)
+	if st.Restricted() {
+		t.Error("remove-all must clear restrictions")
+	}
+	if !st.Allowed["GPTBot"] {
+		t.Error("remove-restriction must not clear explicit allows")
+	}
+}
+
+func TestPartialDoesNotDowngradeFull(t *testing.T) {
+	c := testCorpus(t)
+	s := &Site{Domain: "x.test", Events: []Event{
+		{Snap: 0, Kind: EventAddRestriction, Agents: []string{"GPTBot"}, Full: true},
+		{Snap: 1, Kind: EventAddRestriction, Agents: []string{"GPTBot"}, Full: false},
+	}}
+	st := c.StateAt(s, 1)
+	if !st.Full["GPTBot"] || st.Partial["GPTBot"] {
+		t.Error("a later partial event must not downgrade a full restriction")
+	}
+}
+
+func TestPresenceCounts(t *testing.T) {
+	c := testCorpus(t)
+	for k := range Snapshots {
+		sites, robotsN := c.PresenceCounts(k)
+		if robotsN > sites {
+			t.Fatalf("snapshot %d: robots %d > sites %d", k, robotsN, sites)
+		}
+		if robotsN > len(c.Sites()) {
+			t.Fatalf("snapshot %d: robots %d exceeds population", k, robotsN)
+		}
+		if sites == 0 {
+			t.Fatalf("snapshot %d: no sites present", k)
+		}
+	}
+	if s, r := c.PresenceCounts(-1); s != 0 || r != 0 {
+		t.Error("out-of-range snapshot must be empty")
+	}
+}
+
+func TestScaledPopulations(t *testing.T) {
+	c := testCorpus(t) // scale 0.05
+	scale := 0.05
+	wantTop := int(float64(PaperTop5kPopulation)*scale + 0.5)
+	if got := c.Top5kCount(); got != wantTop {
+		t.Errorf("top5k = %d, want %d", got, wantTop)
+	}
+	// Other population: scaled target plus pinned publisher domains.
+	wantOther := int(float64(PaperOtherPopulation)*scale + 0.5)
+	got := len(c.Sites()) - c.Top5kCount()
+	if got < wantOther || got > wantOther+len(PinnedDomains()) {
+		t.Errorf("other population = %d, want within [%d, %d]",
+			got, wantOther, wantOther+len(PinnedDomains()))
+	}
+}
+
+func TestInvalidScale(t *testing.T) {
+	if _, err := New(Config{Seed: 1, Scale: -1}); err == nil {
+		t.Fatal("negative scale must be rejected")
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	c := testCorpus(t)
+	for _, s := range c.Sites() {
+		for i := 1; i < len(s.Events); i++ {
+			if s.Events[i-1].Snap > s.Events[i].Snap {
+				t.Fatalf("%s: events out of order", s.Domain)
+			}
+		}
+	}
+}
+
+// Property: the rendered robots.txt always parses back to exactly the
+// folded event state — generation and measurement agree at the protocol
+// surface for every site and snapshot.
+func TestRenderStateConsistency(t *testing.T) {
+	c := testCorpus(t)
+	sites := c.Sites()
+	step := len(sites)/150 + 1
+	for i := 0; i < len(sites); i += step {
+		s := sites[i]
+		for _, k := range []int{0, 5, 9, 14} {
+			st := c.StateAt(s, k)
+			rb := robots.ParseString(c.RobotsBody(s, k))
+			for ua := range st.Full {
+				lvl, explicit := rb.ExplicitRestriction(ua)
+				if !explicit || lvl != robots.FullyDisallowed {
+					t.Fatalf("%s@%d: %s state=full, parsed=%v explicit=%v",
+						s.Domain, k, ua, lvl, explicit)
+				}
+			}
+			for ua := range st.Partial {
+				lvl, explicit := rb.ExplicitRestriction(ua)
+				if !explicit || lvl != robots.PartiallyDisallowed {
+					t.Fatalf("%s@%d: %s state=partial, parsed=%v explicit=%v",
+						s.Domain, k, ua, lvl, explicit)
+				}
+			}
+			for ua := range st.Allowed {
+				if !rb.ExplicitlyAllows(ua) {
+					t.Fatalf("%s@%d: %s state=allowed, parser disagrees", s.Domain, k, ua)
+				}
+			}
+			// And nothing extra: every explicitly restricted Table-1 token
+			// in the parse exists in the state.
+			for _, tok := range rb.AgentTokens() {
+				if lvl, explicit := rb.ExplicitRestriction(tok); explicit && lvl.Restricted() {
+					if !st.Full[canonicalAgent(tok)] && !st.Partial[canonicalAgent(tok)] {
+						t.Fatalf("%s@%d: parsed restriction for %s not in state", s.Domain, k, tok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// canonicalAgent maps a parsed token back to the event-state agent name.
+func canonicalAgent(tok string) string {
+	for _, a := range []string{
+		"GPTBot", "CCBot", "Google-Extended", "ChatGPT-User", "anthropic-ai",
+		"ClaudeBot", "Claude-Web", "PerplexityBot", "Bytespider", "omgili",
+		"FacebookBot", "Amazonbot", "cohere-ai", "Diffbot", "Applebot-Extended",
+		"Meta-ExternalAgent", "Meta-ExternalFetcher", "Timpibot", "YouBot",
+		"Applebot", "AI2Bot", "Kangaroo Bot", "OAI-SearchBot", "Webzio-Extended",
+	} {
+		if strings.EqualFold(a, tok) || strings.EqualFold(strings.Split(a, " ")[0], tok) {
+			return a
+		}
+	}
+	return tok
+}

@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"sort"
+
+	"repro/internal/robots"
+)
+
+// SiteState is a site's effective AI-crawler policy at one snapshot,
+// produced by folding the event timeline.
+type SiteState struct {
+	// Full maps agent tokens that are explicitly fully disallowed.
+	Full map[string]bool
+	// Partial maps agents with an explicit partial restriction.
+	Partial map[string]bool
+	// Allowed maps agents with an explicit "Allow: /" invitation.
+	Allowed map[string]bool
+}
+
+// Restricted reports whether any agent is explicitly restricted.
+func (st SiteState) Restricted() bool { return len(st.Full)+len(st.Partial) > 0 }
+
+// StateAt folds the site's events up to and including snapshot k.
+func (c *Corpus) StateAt(s *Site, k int) SiteState {
+	st := SiteState{
+		Full:    make(map[string]bool),
+		Partial: make(map[string]bool),
+		Allowed: make(map[string]bool),
+	}
+	for _, e := range s.Events {
+		if e.Snap > k {
+			break
+		}
+		switch e.Kind {
+		case EventAddRestriction:
+			for _, a := range e.Agents {
+				delete(st.Allowed, a)
+				if e.Full {
+					delete(st.Partial, a)
+					st.Full[a] = true
+				} else if !st.Full[a] {
+					st.Partial[a] = true
+				}
+			}
+		case EventRemoveRestriction:
+			if len(e.Agents) == 0 {
+				st.Full = make(map[string]bool)
+				st.Partial = make(map[string]bool)
+			} else {
+				for _, a := range e.Agents {
+					delete(st.Full, a)
+					delete(st.Partial, a)
+				}
+			}
+		case EventExplicitAllow:
+			for _, a := range e.Agents {
+				delete(st.Full, a)
+				delete(st.Partial, a)
+				st.Allowed[a] = true
+			}
+		}
+	}
+	return st
+}
+
+// RobotsBody renders the robots.txt the site serves at snapshot k. The
+// longitudinal analysis parses these bodies back with internal/robots;
+// generation and measurement only meet at the rendered text.
+func (c *Corpus) RobotsBody(s *Site, k int) string {
+	st := c.StateAt(s, k)
+	b := robots.NewBuilder()
+	b.Comment("robots.txt for " + s.Domain)
+
+	if s.wildcardFull {
+		b.Group("*").DisallowAll()
+	} else {
+		g := b.Group("*")
+		switch s.genericGroups {
+		case 0:
+			g.Disallow("/admin/")
+		case 1:
+			g.Disallow("/admin/", "/search")
+		default:
+			g.Disallow("/admin/", "/cgi-bin/", "/tmp/")
+		}
+		if s.hasCrawlDelay {
+			// The deprecated Crawl-Delay extension some sites still carry;
+			// compliant parsers record and ignore it (App. B.2 case 3).
+			g.CrawlDelay("10")
+		}
+		if s.hasMistake {
+			// The two canonical authoring mistakes from §8.1: a relative
+			// path and a non-existent directive.
+			g.Disallow("images/private")
+			b.Raw("Noai: true")
+		}
+	}
+
+	if full := sortedKeys(st.Full); len(full) > 0 {
+		b.Group(full...).DisallowAll()
+	}
+	for _, a := range sortedKeys(st.Partial) {
+		b.Group(a).Disallow("/images/", "/gallery/")
+	}
+	if allowed := sortedKeys(st.Allowed); len(allowed) > 0 {
+		b.Group(allowed...).AllowAll()
+	}
+
+	if s.hasSitemap {
+		b.Blank()
+		b.Sitemap("https://" + s.Domain + "/sitemap.xml")
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+// Package dnssim is a miniature DNS record store used by the §4.4
+// hosting-provider identification: the paper determines which provider
+// hosts an artist site by whether the site is a subdomain of the provider
+// or by where the domain's DNS records point.
+package dnssim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RecordType is the subset of DNS record types the identification needs.
+type RecordType int
+
+const (
+	// A maps a name to an IPv4 address.
+	A RecordType = iota
+	// CNAME aliases a name to another name.
+	CNAME
+)
+
+// Record is one DNS resource record.
+type Record struct {
+	Type  RecordType
+	Value string
+}
+
+// Zone is a flat record store. The zero value is not usable; use NewZone.
+type Zone struct {
+	records map[string][]Record
+}
+
+// NewZone returns an empty zone.
+func NewZone() *Zone {
+	return &Zone{records: make(map[string][]Record)}
+}
+
+// SetA adds an A record for name.
+func (z *Zone) SetA(name, ip string) {
+	key := strings.ToLower(name)
+	z.records[key] = append(z.records[key], Record{Type: A, Value: ip})
+}
+
+// SetCNAME adds a CNAME record for name.
+func (z *Zone) SetCNAME(name, target string) {
+	key := strings.ToLower(name)
+	z.records[key] = append(z.records[key], Record{Type: CNAME, Value: strings.ToLower(target)})
+}
+
+// Lookup returns the records for name.
+func (z *Zone) Lookup(name string) []Record {
+	return z.records[strings.ToLower(name)]
+}
+
+// ResolveA follows CNAME chains (up to 8 hops) and returns the terminal
+// A-record addresses for name.
+func (z *Zone) ResolveA(name string) ([]string, error) {
+	cur := strings.ToLower(name)
+	for hop := 0; hop < 8; hop++ {
+		recs := z.Lookup(cur)
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("dnssim: NXDOMAIN %s", name)
+		}
+		var ips []string
+		var next string
+		for _, r := range recs {
+			switch r.Type {
+			case A:
+				ips = append(ips, r.Value)
+			case CNAME:
+				next = r.Value
+			}
+		}
+		if len(ips) > 0 {
+			return ips, nil
+		}
+		if next == "" {
+			return nil, fmt.Errorf("dnssim: no address for %s", name)
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("dnssim: CNAME chain too long for %s", name)
+}
+
+// CNAMETarget returns the terminal CNAME target of name, if any.
+func (z *Zone) CNAMETarget(name string) (string, bool) {
+	cur := strings.ToLower(name)
+	var last string
+	for hop := 0; hop < 8; hop++ {
+		var next string
+		for _, r := range z.Lookup(cur) {
+			if r.Type == CNAME {
+				next = r.Value
+			}
+		}
+		if next == "" {
+			break
+		}
+		last = next
+		cur = next
+	}
+	return last, last != ""
+}
+
+// IsSubdomainOf reports whether name is a (strict) subdomain of apex.
+func IsSubdomainOf(name, apex string) bool {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	apex = strings.ToLower(strings.TrimSuffix(apex, "."))
+	return name != apex && strings.HasSuffix(name, "."+apex)
+}

@@ -1,0 +1,86 @@
+package dnssim
+
+import "testing"
+
+func TestResolveA(t *testing.T) {
+	z := NewZone()
+	z.SetA("direct.test", "192.0.2.1")
+	ips, err := z.ResolveA("direct.test")
+	if err != nil || len(ips) != 1 || ips[0] != "192.0.2.1" {
+		t.Fatalf("ResolveA = %v, %v", ips, err)
+	}
+}
+
+func TestResolveChain(t *testing.T) {
+	z := NewZone()
+	z.SetCNAME("www.site.test", "edge.provider.test")
+	z.SetCNAME("edge.provider.test", "lb.provider.test")
+	z.SetA("lb.provider.test", "198.18.0.1")
+	ips, err := z.ResolveA("www.site.test")
+	if err != nil || len(ips) != 1 || ips[0] != "198.18.0.1" {
+		t.Fatalf("chained ResolveA = %v, %v", ips, err)
+	}
+	target, ok := z.CNAMETarget("www.site.test")
+	if !ok || target != "lb.provider.test" {
+		t.Fatalf("CNAMETarget = %q, %v", target, ok)
+	}
+}
+
+func TestResolveNXDomain(t *testing.T) {
+	z := NewZone()
+	if _, err := z.ResolveA("missing.test"); err == nil {
+		t.Fatal("NXDOMAIN must error")
+	}
+}
+
+func TestCNAMELoop(t *testing.T) {
+	z := NewZone()
+	z.SetCNAME("a.test", "b.test")
+	z.SetCNAME("b.test", "a.test")
+	if _, err := z.ResolveA("a.test"); err == nil {
+		t.Fatal("CNAME loop must error, not hang")
+	}
+}
+
+func TestCNAMEWithoutTerminal(t *testing.T) {
+	z := NewZone()
+	z.SetCNAME("x.test", "gone.test")
+	if _, err := z.ResolveA("x.test"); err == nil {
+		t.Fatal("dangling CNAME must error")
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	z := NewZone()
+	z.SetA("MiXeD.test", "192.0.2.9")
+	if _, err := z.ResolveA("mixed.TEST"); err != nil {
+		t.Fatal("lookups must be case-insensitive")
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	cases := []struct {
+		name, apex string
+		want       bool
+	}{
+		{"alice.carbonmade.com", "carbonmade.com", true},
+		{"carbonmade.com", "carbonmade.com", false},
+		{"deep.sub.wixsite.com", "wixsite.com", true},
+		{"notcarbonmade.com", "carbonmade.com", false},
+		{"evil-carbonmade.com", "carbonmade.com", false},
+		{"Alice.Carbonmade.COM", "carbonmade.com", true},
+	}
+	for _, c := range cases {
+		if got := IsSubdomainOf(c.name, c.apex); got != c.want {
+			t.Errorf("IsSubdomainOf(%q, %q) = %v, want %v", c.name, c.apex, got, c.want)
+		}
+	}
+}
+
+func TestCNAMETargetAbsent(t *testing.T) {
+	z := NewZone()
+	z.SetA("plain.test", "192.0.2.2")
+	if _, ok := z.CNAMETarget("plain.test"); ok {
+		t.Fatal("A-only name has no CNAME target")
+	}
+}

@@ -1,0 +1,252 @@
+package longitudinal
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// analyzeScaled builds and analyzes a reduced-scale corpus once for the
+// whole test file.
+var cachedResult *Result
+
+func result(t *testing.T) *Result {
+	t.Helper()
+	if cachedResult != nil {
+		return cachedResult
+	}
+	c, err := corpus.New(corpus.Config{Seed: 23, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedResult = res
+	return res
+}
+
+func TestSeriesShapes(t *testing.T) {
+	res := result(t)
+	n := len(corpus.Snapshots)
+	if len(res.Fig2Top5k.Points) != n || len(res.Fig2Other.Points) != n {
+		t.Fatal("figure 2 series must have one point per snapshot")
+	}
+	if len(res.Fig3) != 10 {
+		t.Fatalf("figure 3 agents = %d, want 10", len(res.Fig3))
+	}
+	for ua, s := range res.Fig3 {
+		if len(s.Points) != n {
+			t.Fatalf("%s series has %d points", ua, len(s.Points))
+		}
+	}
+	if len(res.Table3) != n {
+		t.Fatal("table 3 must have one row per snapshot")
+	}
+}
+
+// Figure 2's central findings: a surge at the first post-announcement
+// snapshot, top-tier sites restricting more than the rest, and end-of-
+// window levels near the paper's 12–14% / 8–10% bands.
+func TestFigure2Shape(t *testing.T) {
+	res := result(t)
+	surgeIdx := corpus.GPTBotAnnouncedIndex
+	preTop := res.Fig2Top5k.Points[surgeIdx-1].Value
+	postTop := res.Fig2Top5k.Points[surgeIdx].Value
+	if postTop < 3*preTop {
+		t.Errorf("top5k surge: %.2f%% -> %.2f%%, want >=3x jump", preTop, postTop)
+	}
+	preOther := res.Fig2Other.Points[surgeIdx-1].Value
+	postOther := res.Fig2Other.Points[surgeIdx].Value
+	if postOther < 3*preOther {
+		t.Errorf("other surge: %.2f%% -> %.2f%%, want >=3x jump", preOther, postOther)
+	}
+	// Top tier restricts more throughout the post-surge era. At reduced
+	// scale the pinned publisher domains (a fixed absolute population in
+	// the "other" tier) inflate that curve by up to ~2 points mid-window,
+	// so allow a one-point margin; the end-of-window comparison is exact
+	// because every deal has executed by then.
+	for k := surgeIdx; k < len(corpus.Snapshots); k++ {
+		if res.Fig2Top5k.Points[k].Value <= res.Fig2Other.Points[k].Value-1.0 {
+			t.Errorf("snapshot %d: top5k %.2f%% <= other %.2f%%", k,
+				res.Fig2Top5k.Points[k].Value, res.Fig2Other.Points[k].Value)
+		}
+	}
+	if res.Fig2Top5k.Last().Value <= res.Fig2Other.Last().Value {
+		t.Errorf("end of window: top5k %.2f%% must exceed other %.2f%%",
+			res.Fig2Top5k.Last().Value, res.Fig2Other.Last().Value)
+	}
+	endTop := res.Fig2Top5k.Last().Value
+	endOther := res.Fig2Other.Last().Value
+	if endTop < 10 || endTop > 17 {
+		t.Errorf("top5k end = %.2f%%, want in the paper's 12-14%% region", endTop)
+	}
+	if endOther < 6.5 || endOther > 12 {
+		t.Errorf("other end = %.2f%%, want in the paper's 8-10%% region", endOther)
+	}
+}
+
+// Figure 3: GPTBot and CCBot are the most-restricted agents, with GPTBot
+// zero before its announcement; all agents tick upward after the EU AI
+// Act draft.
+func TestFigure3Shape(t *testing.T) {
+	res := result(t)
+	gpt := res.Fig3["GPTBot"]
+	cc := res.Fig3["CCBot"]
+	for k := 0; k < corpus.GPTBotAnnouncedIndex; k++ {
+		if gpt.Points[k].Value != 0 {
+			t.Errorf("GPTBot restricted at snapshot %d before announcement", k)
+		}
+	}
+	end := len(corpus.Snapshots) - 1
+	if gpt.Points[end].Value <= cc.Points[end].Value {
+		t.Errorf("GPTBot (%.2f%%) must lead CCBot (%.2f%%)",
+			gpt.Points[end].Value, cc.Points[end].Value)
+	}
+	for ua, s := range res.Fig3 {
+		if ua == "GPTBot" || ua == "CCBot" {
+			continue
+		}
+		if s.Points[end].Value >= gpt.Points[end].Value {
+			t.Errorf("%s (%.2f%%) must trail GPTBot (%.2f%%)",
+				ua, s.Points[end].Value, gpt.Points[end].Value)
+		}
+	}
+	// EU AI Act uptick: restriction grows from Aug 2024 to Oct 2024 for
+	// every agent not subject to licensing-deal removals (the OpenAI
+	// agents dip when the Condé Nast and Vox deals execute, which at
+	// reduced scale can outweigh organic growth).
+	for ua, s := range res.Fig3 {
+		if ua == "GPTBot" || ua == "ChatGPT-User" {
+			continue
+		}
+		if s.Points[end].Value < s.Points[corpus.EUAIActIndex-1].Value {
+			t.Errorf("%s decreased across the EU AI Act window", ua)
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res := result(t)
+	// The explicit-allow curve is (weakly) increasing and ends >= the
+	// Table 4 population (pinned domains) present in the corpus.
+	last := 0.0
+	for _, p := range res.Fig4Allowed.Points {
+		if p.Value < last-0.5 {
+			t.Errorf("explicit-allow curve decreased at %s", p.Label)
+		}
+		last = p.Value
+	}
+	if res.Fig4Allowed.Last().Value < float64(len(res.Table4)) {
+		t.Errorf("allowed end %.0f < GPTBot allowers %d",
+			res.Fig4Allowed.Last().Value, len(res.Table4))
+	}
+	// Removal spikes at the deal snapshots: May 2024 (Dotdash + Stack
+	// Exchange + Future PLC) must exceed the adjacent background periods.
+	may := corpus.SnapshotIndex("2024-22")
+	if res.Fig4Removed.Points[may].Value <= res.Fig4Removed.Points[may-1].Value {
+		t.Error("May 2024 deal spike missing from removal series")
+	}
+	oct := corpus.SnapshotIndex("2024-42")
+	if res.Fig4Removed.Points[oct].Value <= 0 {
+		t.Error("Vox Media deal must register removals in Oct 2024")
+	}
+	if res.Fig4Removed.Points[0].Value != 0 {
+		t.Error("first snapshot has no prior period; removals must be 0")
+	}
+}
+
+func TestTable4Reproduction(t *testing.T) {
+	res := result(t)
+	// Exactly the pinned Table 4 domains allow GPTBot (background allows
+	// use other agents).
+	want := map[string]string{}
+	for _, r := range corpus.Table4 {
+		want[r.Domain] = r.FirstSeen
+	}
+	if len(res.Table4) != len(want) {
+		t.Fatalf("table 4 rows = %d, want %d", len(res.Table4), len(want))
+	}
+	for _, row := range res.Table4 {
+		fs, ok := want[row.Domain]
+		if !ok {
+			t.Errorf("unexpected GPTBot allower %s", row.Domain)
+			continue
+		}
+		if fs != row.FirstSeen {
+			t.Errorf("%s first seen %s, want %s", row.Domain, row.FirstSeen, fs)
+		}
+	}
+	// Sorted by snapshot then domain.
+	for i := 1; i < len(res.Table4); i++ {
+		a, b := res.Table4[i-1], res.Table4[i]
+		ai, bi := corpus.SnapshotIndex(a.FirstSeen), corpus.SnapshotIndex(b.FirstSeen)
+		if ai > bi || (ai == bi && a.Domain > b.Domain) {
+			t.Fatal("table 4 not sorted")
+		}
+	}
+}
+
+func TestGPTBotRemovals(t *testing.T) {
+	res := result(t)
+	// All deal domains removed GPTBot; background removals add more. At
+	// 0.08 scale the paper's 484 scales to roughly 40-140 given the ~100
+	// pinned deal domains are never scaled down.
+	if res.GPTBotRemovals < len(dealDomainCount())-10 {
+		t.Errorf("GPTBot removals = %d, want at least the deal domains (~%d)",
+			res.GPTBotRemovals, len(dealDomainCount()))
+	}
+}
+
+func dealDomainCount() map[string]bool {
+	m := map[string]bool{}
+	for _, d := range corpus.Deals {
+		for _, dom := range d.Domains {
+			m[dom] = true
+		}
+	}
+	return m
+}
+
+func TestRates(t *testing.T) {
+	res := result(t)
+	if res.MistakeRate < 0.003 || res.MistakeRate > 0.03 {
+		t.Errorf("mistake rate = %.4f, want ~0.01 (§8.1)", res.MistakeRate)
+	}
+	if res.WildcardFullRate < 0.005 || res.WildcardFullRate > 0.03 {
+		t.Errorf("wildcard-full rate = %.4f, want <0.02 (§3.1)", res.WildcardFullRate)
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	res := result(t)
+	for i, row := range res.Table3 {
+		if row.Snapshot != corpus.Snapshots[i].ID {
+			t.Fatalf("row %d snapshot %s", i, row.Snapshot)
+		}
+		if row.Robots > row.Sites || row.Sites == 0 {
+			t.Fatalf("row %d: sites=%d robots=%d", i, row.Sites, row.Robots)
+		}
+	}
+}
+
+func TestAnalyzeEmptyCorpusFails(t *testing.T) {
+	// A corpus cannot really be empty through the public API, so exercise
+	// the guard through a zero-scale corpus (clamped to >=1 site, so this
+	// checks Analyze succeeds even at minimum size).
+	c, err := corpus.New(corpus.Config{Seed: 3, Scale: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(c); err != nil {
+		t.Fatalf("minimum corpus must analyze: %v", err)
+	}
+}
+
+func TestCrawlDelayRate(t *testing.T) {
+	res := result(t)
+	if res.CrawlDelayRate < 0.05 || res.CrawlDelayRate > 0.12 {
+		t.Errorf("crawl-delay rate = %.3f, want ≈0.08", res.CrawlDelayRate)
+	}
+}

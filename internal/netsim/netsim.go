@@ -1,0 +1,224 @@
+// Package netsim provides an in-memory IP network that carries real
+// net.Conn traffic between simulated hosts.
+//
+// The paper's §5 experiments identify crawlers by the source IP addresses
+// observed in web server logs (some companies publish crawl ranges, some do
+// not). Loopback TCP cannot reproduce that: every connection arrives from
+// 127.0.0.1. netsim instead implements net.Listener and a dialer on top of
+// synchronous net.Pipe pairs whose LocalAddr/RemoteAddr carry the simulated
+// addresses, so an unmodified net/http server and client exchange real HTTP
+// while logs show the crawler's simulated source IP.
+//
+// A Network also contains a miniature name service (Register/Resolve) so
+// HTTP clients can use ordinary host-based URLs.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrConnRefused is returned by Dial when no listener is bound to the
+// target address.
+var ErrConnRefused = errors.New("netsim: connection refused")
+
+// ErrNameNotFound is returned when a hostname has no registered address.
+var ErrNameNotFound = errors.New("netsim: no such host")
+
+// Network is an in-memory IP network. The zero value is not usable; create
+// one with New. All methods are safe for concurrent use.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*listener // key "ip:port"
+	names     map[string]string    // lowercase hostname -> ip
+	ephemeral atomic.Uint32
+	latency   time.Duration
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		listeners: make(map[string]*listener),
+		names:     make(map[string]string),
+	}
+}
+
+// SetLatency sets a fixed one-way connection setup delay applied on every
+// successful dial. Zero (the default) disables the delay.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// Register binds hostname to ip in the network's name service, replacing
+// any previous binding. Hostnames are case-insensitive.
+func (n *Network) Register(hostname, ip string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.names[strings.ToLower(hostname)] = ip
+}
+
+// Resolve returns the IP bound to hostname. If hostname already parses as
+// an IP it is returned verbatim.
+func (n *Network) Resolve(hostname string) (string, error) {
+	if net.ParseIP(hostname) != nil {
+		return hostname, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ip, ok := n.names[strings.ToLower(hostname)]; ok {
+		return ip, nil
+	}
+	return "", fmt.Errorf("%w: %s", ErrNameNotFound, hostname)
+}
+
+// Listen binds a listener to ip:port. Binding an address that is already
+// bound is an error. Closing the listener releases the address.
+func (n *Network) Listen(ip string, port int) (net.Listener, error) {
+	parsed := net.ParseIP(ip)
+	if parsed == nil {
+		return nil, fmt.Errorf("netsim: invalid listen IP %q", ip)
+	}
+	key := net.JoinHostPort(ip, strconv.Itoa(port))
+	l := &listener{
+		network: n,
+		key:     key,
+		addr:    &net.TCPAddr{IP: parsed, Port: port},
+		backlog: make(chan net.Conn, 64),
+		done:    make(chan struct{}),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[key]; exists {
+		return nil, fmt.Errorf("netsim: address %s already in use", key)
+	}
+	n.listeners[key] = l
+	return l, nil
+}
+
+// Dial opens a connection from sourceIP to addr ("host:port", where host
+// may be a registered name or a literal IP). It honors ctx cancellation.
+func (n *Network) Dial(ctx context.Context, sourceIP, addr string) (net.Conn, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bad address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bad port %q: %w", portStr, err)
+	}
+	ip, err := n.Resolve(host)
+	if err != nil {
+		return nil, err
+	}
+	key := net.JoinHostPort(ip, strconv.Itoa(port))
+
+	n.mu.Lock()
+	l, ok := n.listeners[key]
+	latency := n.latency
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, key)
+	}
+	if latency > 0 {
+		timer := time.NewTimer(latency)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+
+	clientSide, serverSide := net.Pipe()
+	srcPort := 32768 + int(n.ephemeral.Add(1)%28000)
+	clientAddr := &net.TCPAddr{IP: net.ParseIP(sourceIP), Port: srcPort}
+	serverAddr := &net.TCPAddr{IP: net.ParseIP(ip), Port: port}
+	cc := &conn{Conn: clientSide, local: clientAddr, remote: serverAddr}
+	sc := &conn{Conn: serverSide, local: serverAddr, remote: clientAddr}
+
+	select {
+	case l.backlog <- sc:
+		return cc, nil
+	case <-l.done:
+		cc.Close()
+		sc.Close()
+		return nil, fmt.Errorf("%w: %s (listener closed)", ErrConnRefused, key)
+	case <-ctx.Done():
+		cc.Close()
+		sc.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// Dialer returns a DialContext function suitable for http.Transport that
+// originates connections from sourceIP.
+func (n *Network) Dialer(sourceIP string) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		return n.Dial(ctx, sourceIP, addr)
+	}
+}
+
+// HTTPClient returns an http.Client whose connections originate from
+// sourceIP and traverse this network. Each call returns an independent
+// client with its own transport so callers may customize timeouts freely.
+func (n *Network) HTTPClient(sourceIP string) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext:       n.Dialer(sourceIP),
+			DisableKeepAlives: true,
+		},
+		Timeout: 10 * time.Second,
+	}
+}
+
+type listener struct {
+	network   *Network
+	key       string
+	addr      net.Addr
+	backlog   chan net.Conn
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Accept waits for an inbound connection.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close releases the bound address. Pending dials fail with ErrConnRefused.
+func (l *listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.network.mu.Lock()
+		delete(l.network.listeners, l.key)
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the bound address.
+func (l *listener) Addr() net.Addr { return l.addr }
+
+// conn decorates a pipe end with simulated addresses.
+type conn struct {
+	net.Conn
+	local, remote net.Addr
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }

@@ -1,0 +1,256 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHTTPOverNetworkPreservesSourceIP(t *testing.T) {
+	nw := New()
+	nw.Register("example.test", "203.0.113.10")
+
+	ln, err := nw.Listen("203.0.113.10", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seenRemote string
+	var mu sync.Mutex
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		host, _, _ := net.SplitHostPort(r.RemoteAddr)
+		seenRemote = host
+		mu.Unlock()
+		fmt.Fprint(w, "hello from example.test")
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := nw.HTTPClient("198.51.100.77")
+	resp, err := client.Get("http://example.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello from example.test" {
+		t.Fatalf("body = %q", body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seenRemote != "198.51.100.77" {
+		t.Fatalf("server saw remote %q, want the simulated crawler IP", seenRemote)
+	}
+}
+
+func TestDialUnknownHost(t *testing.T) {
+	nw := New()
+	_, err := nw.Dial(context.Background(), "10.0.0.1", "nowhere.test:80")
+	if !errors.Is(err, ErrNameNotFound) {
+		t.Fatalf("err = %v, want ErrNameNotFound", err)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	nw := New()
+	_, err := nw.Dial(context.Background(), "10.0.0.1", "192.0.2.1:80")
+	if !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestListenConflict(t *testing.T) {
+	nw := New()
+	ln, err := nw.Listen("192.0.2.5", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Listen("192.0.2.5", 80); err == nil {
+		t.Fatal("second bind to same address must fail")
+	}
+	ln.Close()
+	// After close the address is free again.
+	ln2, err := nw.Listen("192.0.2.5", 80)
+	if err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	ln2.Close()
+}
+
+func TestListenInvalidIP(t *testing.T) {
+	nw := New()
+	if _, err := nw.Listen("not-an-ip", 80); err == nil {
+		t.Fatal("invalid IP must fail")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	nw := New()
+	if _, err := nw.Dial(context.Background(), "10.0.0.1", "missing-port"); err == nil {
+		t.Fatal("address without port must fail")
+	}
+	if _, err := nw.Dial(context.Background(), "10.0.0.1", "192.0.2.1:notaport"); err == nil {
+		t.Fatal("non-numeric port must fail")
+	}
+}
+
+func TestAcceptAfterClose(t *testing.T) {
+	nw := New()
+	ln, err := nw.Listen("192.0.2.6", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Accept after close: %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not return after Close")
+	}
+	// Dials to a closed listener are refused.
+	if _, err := nw.Dial(context.Background(), "10.0.0.1", "192.0.2.6:80"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("dial to closed listener: %v", err)
+	}
+}
+
+func TestDialContextCancel(t *testing.T) {
+	nw := New()
+	nw.SetLatency(5 * time.Second)
+	ln, err := nw.Listen("192.0.2.7", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = nw.Dial(ctx, "10.0.0.1", "192.0.2.7:80")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not interrupt the latency delay")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	nw := New()
+	nw.SetLatency(30 * time.Millisecond)
+	ln, err := nw.Listen("192.0.2.8", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	start := time.Now()
+	c, err := nw.Dial(context.Background(), "10.0.0.1", "192.0.2.8:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("dial returned in %v, want >= 30ms latency", elapsed)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	nw := New()
+	nw.Register("busy.test", "203.0.113.20")
+	ln, err := nw.Listen("203.0.113.20", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host, _, _ := net.SplitHostPort(r.RemoteAddr)
+		fmt.Fprint(w, host)
+	})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ip := fmt.Sprintf("198.51.100.%d", i+1)
+			client := nw.HTTPClient(ip)
+			resp, err := client.Get("http://busy.test/")
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if string(body) != ip {
+				errs <- fmt.Errorf("client %s echoed %q", ip, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestResolveLiteralIP(t *testing.T) {
+	nw := New()
+	ip, err := nw.Resolve("192.0.2.99")
+	if err != nil || ip != "192.0.2.99" {
+		t.Fatalf("Resolve literal = %q, %v", ip, err)
+	}
+}
+
+func TestRegisterCaseInsensitive(t *testing.T) {
+	nw := New()
+	nw.Register("Example.TEST", "192.0.2.50")
+	ip, err := nw.Resolve("example.test")
+	if err != nil || ip != "192.0.2.50" {
+		t.Fatalf("Resolve = %q, %v", ip, err)
+	}
+}
+
+func TestListenerAddr(t *testing.T) {
+	nw := New()
+	ln, err := nw.Listen("192.0.2.9", 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := ln.Addr().String(); got != "192.0.2.9:8080" {
+		t.Fatalf("Addr = %q", got)
+	}
+}
+
+func TestDoubleCloseListener(t *testing.T) {
+	nw := New()
+	ln, err := nw.Listen("192.0.2.11", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, not panic or error")
+	}
+}

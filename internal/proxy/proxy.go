@@ -1,0 +1,615 @@
+// Package proxy implements the third-party reverse-proxy blocking service
+// the paper evaluates in §6.3 — a Cloudflare-like proxy with a Verified
+// Bots registry, the "Definitely Automated" managed ruleset (App. C.2)
+// and the one-click "Block AI Scrapers and Crawlers" feature (App. C.3) —
+// plus the paper's two measurement procedures against it:
+//
+//   - the grey-box evaluation: toggling Block AI Bots on a site we control
+//     and replaying 614 user agents to infer the undocumented rule list;
+//   - the Figure 7 inference flow: classifying third-party sites as
+//     Block-AI on / off / inconclusive from probe responses alone.
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/agents"
+	"repro/internal/netsim"
+	"repro/internal/robots"
+	"repro/internal/stats"
+	"repro/internal/useragent"
+	"repro/internal/webserver"
+)
+
+// Page body markers, used the way the paper uses Cloudflare's block and
+// challenge page HTML to classify responses.
+const (
+	BlockPageMarker     = "cf-block-page"
+	ChallengePageMarker = "cf-challenge-page"
+)
+
+// Settings is a proxied site's bot-management configuration.
+type Settings struct {
+	// BlockAIBots is the one-click AI blocking feature.
+	BlockAIBots bool
+	// ChallengeAI serves challenge pages instead of block pages for AI
+	// matches (the "managed challenge" flavor some customers configure;
+	// drives Figure 7's 4.16% vs 1.64% split).
+	ChallengeAI bool
+	// DefinitelyAutomated enables the managed automation ruleset.
+	DefinitelyAutomated bool
+}
+
+// verifiedBotIPs maps verified bot tokens to the IP prefix the proxy
+// validates them against (simulated published ranges).
+var verifiedBotIPs = func() map[string]string {
+	m := make(map[string]string)
+	for name := range agents.CloudflareVerifiedAIBots {
+		if a, ok := agents.ByToken(name); ok && a.IPPrefix != "" {
+			m[strings.ToLower(name)] = a.IPPrefix
+			continue
+		}
+		// Verified bots outside Table 1 (ICC Crawler, DuckAssistbot).
+		switch name {
+		case "ICC Crawler":
+			m[strings.ToLower(name)] = "52.0.1"
+		case "DuckAssistbot":
+			m[strings.ToLower(name)] = "53.0.1"
+		}
+	}
+	return m
+}()
+
+// Proxy screens requests for one site. It implements webserver.Blocker so
+// it can front any instrumented site.
+type Proxy struct {
+	mu       sync.Mutex
+	settings Settings
+}
+
+// New returns a proxy with the given settings.
+func New(s Settings) *Proxy { return &Proxy{settings: s} }
+
+// Configure atomically replaces the settings (the dashboard toggle).
+func (p *Proxy) Configure(s Settings) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.settings = s
+}
+
+// Settings returns the current configuration.
+func (p *Proxy) Settings() Settings {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.settings
+}
+
+// Check implements webserver.Blocker with the §6.3 evaluation order:
+// Block AI Bots (user-agent based), then verified-bot validation, then
+// Definitely Automated.
+func (p *Proxy) Check(r *http.Request) *webserver.BlockDecision {
+	s := p.Settings()
+	ua := r.UserAgent()
+
+	if s.BlockAIBots {
+		if _, hit := useragent.MatchesAny(ua, agents.CloudflareBlockAIBots); hit {
+			if s.ChallengeAI {
+				return challengePage()
+			}
+			return blockPage()
+		}
+	}
+
+	verified, fake := p.verifiedStatus(r)
+	if verified {
+		// Verified bots (correct source range) bypass Definitely Automated.
+		return nil
+	}
+	if s.DefinitelyAutomated {
+		if fake {
+			// A request claiming a verified bot from the wrong range is
+			// definitely automated (App. C.2 note).
+			return challengePage()
+		}
+		if _, hit := useragent.MatchesAny(ua, agents.CloudflareDefinitelyAutomated); hit {
+			return challengePage()
+		}
+	}
+	return nil
+}
+
+// verifiedStatus reports whether the request is a validated verified bot,
+// or a fake one (verified UA from the wrong source range).
+func (p *Proxy) verifiedStatus(r *http.Request) (verified, fake bool) {
+	ua := strings.ToLower(r.UserAgent())
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	for name, prefix := range verifiedBotIPs {
+		if !strings.Contains(ua, name) {
+			continue
+		}
+		if strings.HasPrefix(host, prefix+".") {
+			return true, false
+		}
+		return false, true
+	}
+	return false, false
+}
+
+func blockPage() *webserver.BlockDecision {
+	return &webserver.BlockDecision{
+		Status: http.StatusForbidden,
+		Body: "<html><body class=\"" + BlockPageMarker + "\"><h1>Sorry, you have been blocked</h1>" +
+			"<p>This website is using a security service to protect itself.</p></body></html>",
+	}
+}
+
+func challengePage() *webserver.BlockDecision {
+	return &webserver.BlockDecision{
+		Status: http.StatusForbidden, Challenge: true,
+		Body: "<html><body class=\"" + ChallengePageMarker + "\"><h1>Checking your browser</h1>" +
+			"<p>Complete the challenge to continue.</p></body></html>",
+	}
+}
+
+// responseKind classifies a probe response the way the paper reads
+// Cloudflare pages.
+type responseKind int
+
+const (
+	kindOK responseKind = iota
+	kindBlock
+	kindChallenge
+	kindOther
+)
+
+func classifyResponse(status int, body string) responseKind {
+	switch {
+	case strings.Contains(body, ChallengePageMarker):
+		return kindChallenge
+	case strings.Contains(body, BlockPageMarker):
+		return kindBlock
+	case status == http.StatusOK:
+		return kindOK
+	default:
+		return kindOther
+	}
+}
+
+// GreyBoxResult is the §6.3 rule-list inference outcome.
+type GreyBoxResult struct {
+	// Probed is the number of user agents replayed.
+	Probed int
+	// BlockedTokens are the distinct product tokens blocked only when the
+	// feature is on, sorted (paper: 17).
+	BlockedTokens []string
+}
+
+// RunGreyBox stands up a site behind the proxy, replays every probe user
+// agent with Block AI Bots off and then on, and infers the blocked list
+// from the differential — the paper's methodology for Appendix C.3.
+func RunGreyBox(seed int64, extraAgents int) (*GreyBoxResult, error) {
+	if extraAgents <= 0 {
+		extraAgents = 590
+	}
+	nw := netsim.New()
+	px := New(Settings{})
+	cfg := webserver.Config{
+		Domain: "greybox.test", IP: "203.0.113.80",
+		Pages:   map[string]webserver.Page{"/": {Body: "<html><body>owner content</body></html>"}},
+		Blocker: px,
+	}
+	site, err := webserver.Start(nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.230")
+
+	var probes []string
+	for _, a := range agents.Table1 {
+		probes = append(probes, a.FullUserAgent())
+	}
+	probes = append(probes, agents.GenericCrawlerUserAgents(extraAgents)...)
+
+	fetch := func(ua string) (responseKind, error) {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, site.URL()+"/", nil)
+		if err != nil {
+			return kindOther, err
+		}
+		req.Header.Set("User-Agent", ua)
+		resp, err := client.Do(req)
+		if err != nil {
+			return kindOther, err
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 2048)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return classifyResponse(resp.StatusCode, sb.String()), nil
+	}
+
+	res := &GreyBoxResult{Probed: len(probes)}
+	offOK := make(map[string]bool, len(probes))
+	px.Configure(Settings{BlockAIBots: false})
+	for _, ua := range probes {
+		kind, err := fetch(ua)
+		if err != nil {
+			return nil, err
+		}
+		offOK[ua] = kind == kindOK
+	}
+	px.Configure(Settings{BlockAIBots: true})
+	blocked := make(map[string]bool)
+	for _, ua := range probes {
+		kind, err := fetch(ua)
+		if err != nil {
+			return nil, err
+		}
+		if offOK[ua] && kind != kindOK {
+			blocked[tokenOf(ua)] = true
+		}
+	}
+	for tok := range blocked {
+		res.BlockedTokens = append(res.BlockedTokens, tok)
+	}
+	sort.Strings(res.BlockedTokens)
+	return res, nil
+}
+
+func tokenOf(ua string) string {
+	if i := strings.LastIndex(ua, "; "); i >= 0 {
+		ua = ua[i+2:]
+	}
+	return useragent.ExtractToken(ua)
+}
+
+// Inference is the Figure 7 classification of one proxied site.
+type Inference int
+
+const (
+	// InferredOff: the AI probe agents got content → Block AI off.
+	InferredOff Inference = iota
+	// InferredOnBlock: AI agents got block pages, automation probes got
+	// content → Block AI on.
+	InferredOnBlock
+	// InferredOnChallenge: AI agents got challenge pages, automation
+	// probes got content → Block AI on (challenge flavor).
+	InferredOnChallenge
+	// Inconclusive: the automation probes were also blocked — the AI
+	// block could come from either ruleset (Figure 7's 7.19%).
+	Inconclusive
+)
+
+// String names the inference.
+func (i Inference) String() string {
+	switch i {
+	case InferredOff:
+		return "Block AI off"
+	case InferredOnBlock:
+		return "Block AI on (block)"
+	case InferredOnChallenge:
+		return "Block AI on (challenge)"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return "unknown"
+	}
+}
+
+// aiProbeUAs and automationProbeUAs are Figure 7's probe sets: the two
+// most-restricted unverified AI agents, and two unpopular automation
+// libraries from the Definitely Automated list.
+var (
+	aiProbeUAs         = []string{"ClaudeBot", "anthropic-ai"}
+	automationProbeUAs = []string{"HeadlessChrome", "libwww-perl"}
+)
+
+// InferBlockAI runs the Figure 7 flow against one site.
+func InferBlockAI(client *http.Client, siteURL string) (Inference, error) {
+	probe := func(token string) (responseKind, error) {
+		req, err := http.NewRequest(http.MethodGet, siteURL, nil)
+		if err != nil {
+			return kindOther, err
+		}
+		req.Header.Set("User-Agent", useragent.FullUA(token, "1.0"))
+		resp, err := client.Do(req)
+		if err != nil {
+			return kindOther, err
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 2048)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return classifyResponse(resp.StatusCode, sb.String()), nil
+	}
+
+	aiKind := kindOK
+	for _, ua := range aiProbeUAs {
+		k, err := probe(ua)
+		if err != nil {
+			return Inconclusive, err
+		}
+		if k != kindOK {
+			aiKind = k
+		}
+	}
+	if aiKind == kindOK {
+		return InferredOff, nil
+	}
+	for _, ua := range automationProbeUAs {
+		k, err := probe(ua)
+		if err != nil {
+			return Inconclusive, err
+		}
+		if k != kindOK {
+			// The Definitely Automated ruleset (or a custom WAF) is in
+			// play; the AI block cannot be attributed.
+			return Inconclusive, nil
+		}
+	}
+	if aiKind == kindChallenge {
+		return InferredOnChallenge, nil
+	}
+	return InferredOnBlock, nil
+}
+
+// Population fractions for the §6.3 survey, calibrated to the paper's
+// text (107 of 1,875 conclusively-determined sites enable Block AI) with
+// Figure 7's block/challenge ratio.
+const (
+	// PaperCloudflareShare: 2,018 of the top 10k sites proxy through
+	// Cloudflare (20%).
+	PaperCloudflareShare = 0.2018
+	// onBlockRate and onChallengeRate split the enabled population.
+	onBlockRate     = 0.0382 // ~77 of 2,018
+	onChallengeRate = 0.0149 // ~30 of 2,018
+	// inconclusiveRate is Figure 7's 7.19%.
+	inconclusiveRate = 0.0719
+	// PaperOnRobotsRate / PaperOffRobotsRate: §6.3's correlation — sites
+	// enabling Block AI also disallow AI crawlers in robots.txt at 24%
+	// vs 12% for the rest.
+	PaperOnRobotsRate  = 0.24
+	PaperOffRobotsRate = 0.12
+)
+
+// CFSiteSpec is the generated ground truth for one proxied site.
+type CFSiteSpec struct {
+	Domain            string
+	IP                string
+	Settings          Settings
+	RobotsDisallowsAI bool
+}
+
+// GenerateCFPopulation builds n Cloudflare-proxied sites matching the
+// §6.3 distribution with exact category counts.
+func GenerateCFPopulation(n int, seed int64) []CFSiteSpec {
+	rn := stats.NewRand(seed).Fork("cf-population")
+	nOnBlock := int(float64(n)*onBlockRate + 0.5)
+	nOnChallenge := int(float64(n)*onChallengeRate + 0.5)
+	nInconclusive := int(float64(n)*inconclusiveRate + 0.5)
+
+	specs := make([]CFSiteSpec, n)
+	for i := range specs {
+		specs[i] = CFSiteSpec{
+			Domain: fmt.Sprintf("cf%05d.example", i+1),
+			IP:     fmt.Sprintf("11.%d.%d.%d", 10+i/65536, (i/256)%256, i%256),
+		}
+	}
+	perm := rn.Perm(n)
+	idx := 0
+	take := func(k int) []int {
+		out := perm[idx : idx+k]
+		idx += k
+		return out
+	}
+	for _, i := range take(nOnBlock) {
+		specs[i].Settings = Settings{BlockAIBots: true}
+	}
+	for _, i := range take(nOnChallenge) {
+		specs[i].Settings = Settings{BlockAIBots: true, ChallengeAI: true}
+	}
+	for _, i := range take(nInconclusive) {
+		// Definitely Automated on; Block AI state unobservable (half on).
+		specs[i].Settings = Settings{DefinitelyAutomated: true, BlockAIBots: i%2 == 0}
+	}
+	// Robots.txt correlation.
+	for i := range specs {
+		rate := PaperOffRobotsRate
+		if specs[i].Settings.BlockAIBots && !specs[i].Settings.DefinitelyAutomated {
+			rate = PaperOnRobotsRate
+		}
+		specs[i].RobotsDisallowsAI = rn.Bool(rate)
+	}
+	return specs
+}
+
+// CFSurveyResult aggregates the Figure 7 inference over a population.
+type CFSurveyResult struct {
+	Total        int
+	Off          int
+	OnBlock      int
+	OnChallenge  int
+	Inconclusive int
+	// OnRobotsRate and OffRobotsRate are the fractions of (conclusive)
+	// sites whose robots.txt disallows AI crawlers, split by inferred
+	// setting (paper: 24% vs 12%).
+	OnRobotsRate  float64
+	OffRobotsRate float64
+}
+
+// ConclusiveRate returns the fraction of sites classified conclusively.
+func (r *CFSurveyResult) ConclusiveRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Total-r.Inconclusive) / float64(r.Total)
+}
+
+// OnRate returns the Block-AI adoption rate among conclusive sites
+// (paper: 107/1,875 = 5.7%).
+func (r *CFSurveyResult) OnRate() float64 {
+	conclusive := r.Total - r.Inconclusive
+	if conclusive == 0 {
+		return 0
+	}
+	return float64(r.OnBlock+r.OnChallenge) / float64(conclusive)
+}
+
+// RunInferenceSurvey hosts n proxied sites and classifies each with the
+// Figure 7 flow, then measures the robots.txt correlation.
+func RunInferenceSurvey(n int, seed int64, workers int) (*CFSurveyResult, error) {
+	if workers <= 0 {
+		workers = 32
+	}
+	nw := netsim.New()
+	specs := GenerateCFPopulation(n, seed)
+	sites := make([]*webserver.Site, 0, n)
+	defer func() {
+		for _, s := range sites {
+			s.Close()
+		}
+	}()
+	aiRobots := "User-agent: GPTBot\nUser-agent: anthropic-ai\nUser-agent: ClaudeBot\nDisallow: /\n"
+	plainRobots := "User-agent: *\nDisallow: /admin/\n"
+	for _, spec := range specs {
+		robotsTxt := plainRobots
+		if spec.RobotsDisallowsAI {
+			robotsTxt = aiRobots
+		}
+		rt := robotsTxt
+		site, err := webserver.Start(nw, webserver.Config{
+			Domain:    spec.Domain,
+			IP:        spec.IP,
+			RobotsTxt: &rt,
+			Pages:     map[string]webserver.Page{"/": {Body: "<html><body>site content for " + spec.Domain + "</body></html>"}},
+			Blocker:   New(spec.Settings),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sites = append(sites, site)
+	}
+
+	inferences := make([]Inference, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := nw.HTTPClient("198.51.100.240")
+			for i := range jobs {
+				inf, err := InferBlockAI(client, "http://"+specs[i].Domain+"/")
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				inferences[i] = inf
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &CFSurveyResult{Total: n}
+	client := nw.HTTPClient("198.51.100.241")
+	var onRobots, offRobots, onCount, offCount int
+	for i, inf := range inferences {
+		switch inf {
+		case InferredOff:
+			res.Off++
+			offCount++
+			if robotsDisallowsAI(client, specs[i].Domain) {
+				offRobots++
+			}
+		case InferredOnBlock, InferredOnChallenge:
+			if inf == InferredOnBlock {
+				res.OnBlock++
+			} else {
+				res.OnChallenge++
+			}
+			onCount++
+			if robotsDisallowsAI(client, specs[i].Domain) {
+				onRobots++
+			}
+		case Inconclusive:
+			res.Inconclusive++
+		}
+	}
+	if onCount > 0 {
+		res.OnRobotsRate = float64(onRobots) / float64(onCount)
+	}
+	if offCount > 0 {
+		res.OffRobotsRate = float64(offRobots) / float64(offCount)
+	}
+	return res, nil
+}
+
+// robotsDisallowsAI fetches robots.txt with a neutral UA and reports
+// whether it explicitly restricts any Table 1 AI agent.
+func robotsDisallowsAI(client *http.Client, domain string) bool {
+	req, err := http.NewRequest(http.MethodGet, "http://"+domain+"/robots.txt", nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set("User-Agent", "robots-survey/1.0")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var sb strings.Builder
+	buf := make([]byte, 2048)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	rb := robots.ParseString(sb.String())
+	for _, tok := range rb.AgentTokens() {
+		if _, ok := agents.ByToken(tok); ok {
+			if lvl, explicit := rb.ExplicitRestriction(tok); explicit && lvl.Restricted() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package robots
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Conformance battery modeled on the behaviours of Google's open-source
+// robots.txt parser (the reference implementation the paper uses), its
+// documentation examples, and RFC 9309. Each case is one (robots, agent,
+// path) access decision.
+func TestGoogleConformance(t *testing.T) {
+	cases := []struct {
+		name   string
+		robots string
+		agent  string
+		path   string
+		allow  bool
+	}{
+		// --- Rule precedence examples from Google's reference docs ---
+		{"allow page beats shorter disallow", "User-agent: *\nAllow: /p\nDisallow: /\n", "bot", "/page", true},
+		{"allow folder tie goes to allow", "User-agent: *\nAllow: /folder\nDisallow: /folder\n", "bot", "/folder/page", true},
+		{"longer wildcard disallow beats allow", "User-agent: *\nAllow: /page\nDisallow: /*.htm\n", "bot", "/page.htm", false},
+		{"anchored allow of root only", "User-agent: *\nAllow: /$\nDisallow: /\n", "bot", "/", true},
+		{"anchored allow does not extend", "User-agent: *\nAllow: /$\nDisallow: /\n", "bot", "/page", false},
+		{"equal length allow wins", "User-agent: *\nDisallow: /ab\nAllow: /ab\n", "bot", "/abc", true},
+
+		// --- Grouping ---
+		{"group applies to both agents (first)",
+			"User-agent: a\nUser-agent: b\nDisallow: /\n", "a", "/x", false},
+		{"group applies to both agents (second)",
+			"User-agent: a\nUser-agent: b\nDisallow: /\n", "b", "/x", false},
+		{"later group same agent merges",
+			"User-agent: a\nDisallow: /x/\n\nUser-agent: a\nDisallow: /y/\n", "a", "/y/1", false},
+		{"specific group excludes wildcard rules",
+			"User-agent: a\nDisallow: /only-a/\n\nUser-agent: *\nDisallow: /all/\n", "a", "/all/x", true},
+		{"wildcard applies when no specific group",
+			"User-agent: a\nDisallow: /only-a/\n\nUser-agent: *\nDisallow: /all/\n", "b", "/all/x", false},
+		{"sitemap line does not split group",
+			"User-agent: a\nSitemap: https://e/s.xml\nDisallow: /x/\n", "a", "/x/1", false},
+		{"comment line does not split group",
+			"User-agent: a\n# note\nDisallow: /x/\n", "a", "/x/1", false},
+		{"blank line does not split group (google behaviour)",
+			"User-agent: a\n\nDisallow: /x/\n", "a", "/x/1", false},
+		{"crawl-delay does not split group",
+			"User-agent: a\nCrawl-delay: 1\nDisallow: /x/\n", "a", "/x/1", false},
+
+		// --- User agent matching ---
+		{"agent match is case-insensitive", "User-agent: FooBot\nDisallow: /\n", "fOoBoT", "/x", false},
+		{"full UA string resolves to token",
+			"User-agent: FooBot\nDisallow: /\n", "Mozilla/5.0 (compatible; FooBot/2.1)", "/x", true},
+		// (the full string's token is "Mozilla", not FooBot — per token
+		// extraction the policy for FooBot does not govern Mozilla)
+		{"token from versioned UA", "User-agent: FooBot\nDisallow: /\n", "FooBot/2.1", "/x", false},
+		{"no rules for unknown agent", "User-agent: FooBot\nDisallow: /\n", "BarBot", "/x", true},
+
+		// --- Path matching ---
+		{"paths are case-sensitive", "User-agent: *\nDisallow: /X/\n", "bot", "/x/1", true},
+		{"prefix match", "User-agent: *\nDisallow: /fish\n", "bot", "/fish.html", false},
+		{"prefix does not match mid-path", "User-agent: *\nDisallow: /fish\n", "bot", "/catfish", true},
+		{"query string included in match", "User-agent: *\nDisallow: /*?sort=\n", "bot", "/list?sort=asc", false},
+		{"star collapses", "User-agent: *\nDisallow: /a***b\n", "bot", "/aXXXb", false},
+		{"dollar mid-pattern is literal", "User-agent: *\nDisallow: /a$b\n", "bot", "/a$b-c", false},
+		{"dollar mid-pattern literal no match", "User-agent: *\nDisallow: /a$b\n", "bot", "/ab", true},
+
+		// --- Empty values and degenerate files ---
+		{"empty disallow allows all", "User-agent: *\nDisallow:\n", "bot", "/x", true},
+		{"empty file allows all", "", "bot", "/x", true},
+		{"whitespace-only file allows all", "  \n\t\n", "bot", "/x", true},
+		{"rules without group ignored", "Disallow: /\n", "bot", "/x", true},
+		{"allow-only file imposes nothing", "User-agent: *\nAllow: /public/\n", "bot", "/private/x", true},
+
+		// --- Percent encoding ---
+		{"encoded pattern matches raw path", "User-agent: *\nDisallow: /caf%C3%A9/\n", "bot", "/café/menu", false},
+		{"raw pattern matches encoded-equal path", "User-agent: *\nDisallow: /a%2Fb\n", "bot", "/a%2fb", false},
+
+		// --- Key tolerance ---
+		{"useragent spelling accepted", "useragent: *\ndisallow: /x/\n", "bot", "/x/1", false},
+		{"mixed case keys accepted", "USER-AGENT: *\nDISALLOW: /x/\n", "bot", "/x/1", false},
+		{"dissallow typo accepted", "User-agent: *\nDissallow: /x/\n", "bot", "/x/1", false},
+
+		// --- robots.txt itself ---
+		{"robots.txt always fetchable", "User-agent: *\nDisallow: /\n", "bot", "/robots.txt", true},
+
+		// --- Whitespace and comments ---
+		{"spaces around colon", "User-agent :   *  \nDisallow : /x/\n", "bot", "/x/1", false},
+		{"trailing comment stripped", "User-agent: * # everyone\nDisallow: /x/ # private\n", "bot", "/x/1", false},
+		{"leading whitespace tolerated", "  User-agent: *\n\tDisallow: /x/\n", "bot", "/x/1", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rb := ParseString(c.robots)
+			if got := rb.Allowed(c.agent, c.path); got != c.allow {
+				t.Errorf("Allowed(%q, %q) = %v, want %v\nrobots:\n%s",
+					c.agent, c.path, got, c.allow, c.robots)
+			}
+		})
+	}
+}
+
+// The parser must be total: arbitrary input never panics, and every
+// access decision is well-defined.
+func TestParserTotality(t *testing.T) {
+	f := func(body, agent, path string) bool {
+		rb := ParseString(body)
+		_ = rb.Allowed(agent, "/"+path)
+		_ = rb.Restriction(agent)
+		_, _ = rb.ExplicitRestriction(agent)
+		_ = rb.AgentTokens()
+		_ = rb.WildcardFullDisallow()
+		_ = rb.HasMistakes()
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adversarial inputs drawn from real-world robots.txt corpora.
+func TestHostileInputs(t *testing.T) {
+	inputs := []string{
+		strings.Repeat("User-agent: *\n", 1000) + "Disallow: /\n",
+		strings.Repeat("Disallow: /x\n", 1000),
+		"User-agent: *\nDisallow: " + strings.Repeat("*", 500) + "\n",
+		"User-agent: " + strings.Repeat("a", 10000) + "\nDisallow: /\n",
+		strings.Repeat("#", 100000),
+		"User-agent: *\r\rDisallow: /\r",
+		"\x00\x01\x02User-agent: *\nDisallow: /\n",
+		"User-agent: *\nDisallow: /\xff\xfe/\n",
+	}
+	for i, in := range inputs {
+		rb := ParseString(in)
+		_ = rb.Allowed("GPTBot", "/some/path")
+		_ = rb.Restriction("GPTBot")
+		_ = i
+	}
+}
+
+// Pathological wildcard patterns must not blow up matching time; this is
+// a correctness test for the backtracking bound (the 10s test timeout
+// would trip on exponential behaviour).
+func TestMatcherPerformanceBound(t *testing.T) {
+	pattern := "/" + strings.Repeat("a*", 50)
+	path := "/" + strings.Repeat("a", 2000) + "b"
+	rb := ParseString("User-agent: *\nDisallow: " + pattern + "\n")
+	for i := 0; i < 50; i++ {
+		rb.Allowed("bot", path)
+	}
+}
+
+// Decision stability: the same Robots value always returns the same
+// answer (no internal mutation during matching).
+func TestDecisionStability(t *testing.T) {
+	rb := ParseString(figure1)
+	f := func(path string) bool {
+		p := "/" + path
+		first := rb.Allowed("GPTBot", p)
+		for i := 0; i < 3; i++ {
+			if rb.Allowed("GPTBot", p) != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Merging invariance: parsing a file twice and querying in different
+// orders yields identical categorization.
+func TestQueryOrderInvariance(t *testing.T) {
+	body := `User-agent: GPTBot
+User-agent: CCBot
+Disallow: /
+
+User-agent: GPTBot
+Allow: /public/
+
+User-agent: *
+Disallow: /admin/
+`
+	a := ParseString(body)
+	b := ParseString(body)
+	agentsOrder1 := []string{"GPTBot", "CCBot", "Other"}
+	agentsOrder2 := []string{"Other", "CCBot", "GPTBot"}
+	res1 := map[string]Level{}
+	for _, ua := range agentsOrder1 {
+		res1[ua] = a.Restriction(ua)
+	}
+	res2 := map[string]Level{}
+	for _, ua := range agentsOrder2 {
+		res2[ua] = b.Restriction(ua)
+	}
+	for ua, lvl := range res1 {
+		if res2[ua] != lvl {
+			t.Errorf("%s: %v vs %v depending on query order", ua, lvl, res2[ua])
+		}
+	}
+	if res1["GPTBot"] != PartiallyDisallowed {
+		t.Errorf("GPTBot = %v, want partial (allow carve-out merged from second group)", res1["GPTBot"])
+	}
+	if res1["CCBot"] != FullyDisallowed {
+		t.Errorf("CCBot = %v, want full", res1["CCBot"])
+	}
+}

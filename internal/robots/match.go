@@ -1,0 +1,277 @@
+package robots
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/useragent"
+)
+
+// Access is the view of a parsed robots.txt from one crawler's
+// perspective: the merged rule set of every group that governs the
+// crawler's product token.
+type Access struct {
+	// Token is the product token extracted from the queried user agent.
+	Token string
+	// Explicit is true when a non-wildcard group matched the token.
+	Explicit bool
+	// MatchedAgents are the group names that matched (lowercased).
+	MatchedAgents []string
+
+	rules                []Rule
+	firstMatchPrecedence bool
+}
+
+// Agent returns the access view for a crawler identified by ua, which may
+// be a full User-Agent header or a bare product token. Group selection
+// follows the parse profile: by default the most specific matching group
+// name governs ("googlebot-news" over "googlebot" over "*"), with all
+// groups of that name merged per RFC 9309.
+func (rb *Robots) Agent(ua string) Access {
+	token := useragent.ExtractToken(ua)
+	acc := Access{Token: token, firstMatchPrecedence: rb.profile.FirstMatchPrecedence}
+
+	type candidate struct {
+		specificity int // length of the matched group name
+		groupIdx    int
+		agent       string
+	}
+	var cands []candidate
+	best := -1
+	for gi, g := range rb.Groups {
+		for _, a := range g.Agents {
+			name := useragent.ExtractToken(a)
+			if name == "" || useragent.IsWildcard(a) {
+				continue
+			}
+			if !rb.agentNameMatches(name, token) {
+				continue
+			}
+			cands = append(cands, candidate{len(name), gi, strings.ToLower(name)})
+			if len(name) > best {
+				best = len(name)
+			}
+		}
+	}
+	if best >= 0 {
+		acc.Explicit = true
+		seenGroup := make(map[int]bool)
+		seenAgent := make(map[string]bool)
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].groupIdx < cands[j].groupIdx })
+		for _, c := range cands {
+			if c.specificity != best {
+				continue
+			}
+			if !seenAgent[c.agent] {
+				seenAgent[c.agent] = true
+				acc.MatchedAgents = append(acc.MatchedAgents, c.agent)
+			}
+			if seenGroup[c.groupIdx] {
+				continue
+			}
+			seenGroup[c.groupIdx] = true
+			acc.rules = append(acc.rules, rb.Groups[c.groupIdx].Rules...)
+		}
+		return acc
+	}
+	// Fall back to the wildcard groups, merged.
+	for _, g := range rb.Groups {
+		wild := false
+		for _, a := range g.Agents {
+			if useragent.IsWildcard(a) {
+				wild = true
+				break
+			}
+		}
+		if wild {
+			acc.rules = append(acc.rules, g.Rules...)
+		}
+	}
+	if len(acc.rules) > 0 {
+		acc.MatchedAgents = []string{"*"}
+	}
+	return acc
+}
+
+// agentNameMatches reports whether a robots.txt group name governs the
+// crawler token under the parse profile's semantics.
+func (rb *Robots) agentNameMatches(name, token string) bool {
+	if rb.profile.CaseSensitiveAgents {
+		if rb.profile.StrictTokenMatch {
+			return name == token
+		}
+		return name == token || hierarchicalPrefix(name, token)
+	}
+	if useragent.EqualToken(name, token) {
+		return true
+	}
+	if rb.profile.StrictTokenMatch {
+		return false
+	}
+	return hierarchicalPrefixFold(name, token)
+}
+
+// hierarchicalPrefixFold reports whether name governs token by the
+// product-token hierarchy: "googlebot" governs "googlebot-news" (the match
+// must end at a '-' boundary), case-insensitively.
+func hierarchicalPrefixFold(name, token string) bool {
+	if len(name) >= len(token) {
+		return false
+	}
+	if !strings.EqualFold(token[:len(name)], name) {
+		return false
+	}
+	return token[len(name)] == '-'
+}
+
+func hierarchicalPrefix(name, token string) bool {
+	if len(name) >= len(token) {
+		return false
+	}
+	return token[:len(name)] == name && token[len(name)] == '-'
+}
+
+// HasRules reports whether any rule governs this agent.
+func (a Access) HasRules() bool { return len(a.rules) > 0 }
+
+// Rules returns a copy of the merged rules governing this agent.
+func (a Access) Rules() []Rule { return append([]Rule(nil), a.rules...) }
+
+// Allowed reports whether the agent may fetch the given path. The path
+// should begin with '/' and may include a query string; the empty path is
+// treated as "/". Per RFC 9309, "/robots.txt" is always allowed.
+func (a Access) Allowed(path string) bool {
+	if path == "" {
+		path = "/"
+	}
+	if path == "/robots.txt" {
+		return true
+	}
+	path = normalizePath(path)
+	if a.firstMatchPrecedence {
+		for _, r := range a.rules {
+			if r.Path == "" {
+				continue
+			}
+			if matchPattern(normalizePath(r.Path), path) {
+				return r.Allow
+			}
+		}
+		return true
+	}
+	bestLen := -1
+	allowed := true
+	for _, r := range a.rules {
+		if r.Path == "" {
+			continue // empty pattern matches nothing
+		}
+		pat := normalizePath(r.Path)
+		if !matchPattern(pat, path) {
+			continue
+		}
+		pl := patternPriority(pat)
+		switch {
+		case pl > bestLen:
+			bestLen = pl
+			allowed = r.Allow
+		case pl == bestLen && r.Allow && !allowed:
+			// Tie: Allow wins (RFC 9309 §2.2.2).
+			allowed = true
+		}
+	}
+	return allowed
+}
+
+// Allowed is a convenience wrapper: may the crawler ua fetch path?
+func (rb *Robots) Allowed(ua, path string) bool {
+	return rb.Agent(ua).Allowed(path)
+}
+
+// patternPriority is the specificity of a pattern for longest-match
+// precedence: its length in bytes (Google uses the same metric).
+func patternPriority(pat string) int { return len(pat) }
+
+// matchPattern reports whether a robots.txt pattern matches the path.
+// Patterns are prefix patterns: "/foo" matches "/foobar" and "/foo/baz".
+// '*' matches any run of characters (including the empty run); '$' at the
+// very end anchors the pattern to the end of the path.
+func matchPattern(pattern, path string) bool {
+	if strings.HasSuffix(pattern, "$") {
+		return matchFull(pattern[:len(pattern)-1], path)
+	}
+	// An unanchored pattern must match some prefix of the path, which is
+	// the same as fully matching with an implicit trailing wildcard.
+	return matchFull(pattern+"*", path)
+}
+
+// matchFull reports whether pattern (with '*' wildcards) matches the whole
+// path, using greedy two-pointer matching with backtracking. It runs in
+// O(len(pattern) * len(path)) worst case and allocates nothing.
+func matchFull(pattern, path string) bool {
+	var (
+		p, s         int  // cursors into pattern and path
+		starP, starS int  // backtrack positions
+		haveStar     bool // a '*' has been seen
+	)
+	for s < len(path) {
+		switch {
+		case p < len(pattern) && pattern[p] == '*':
+			haveStar = true
+			starP = p
+			starS = s
+			p++
+		case p < len(pattern) && pattern[p] == path[s]:
+			p++
+			s++
+		case haveStar:
+			starS++
+			s = starS
+			p = starP + 1
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// normalizePath canonicalizes percent-encoding so that patterns and paths
+// compare the way RFC 9309 §2.2.3 requires: valid %xx triplets are
+// uppercased and bytes outside the ASCII printable range are
+// percent-encoded. '*' and '$' are printable ASCII and pass through, so
+// the same normalization serves patterns and paths alike.
+func normalizePath(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '%' && i+2 < len(s) && isHex(s[i+1]) && isHex(s[i+2]):
+			b.WriteByte('%')
+			b.WriteByte(upperHex(s[i+1]))
+			b.WriteByte(upperHex(s[i+2]))
+			i += 2
+		case c >= 0x80 || c == ' ':
+			const hexdigits = "0123456789ABCDEF"
+			b.WriteByte('%')
+			b.WriteByte(hexdigits[c>>4])
+			b.WriteByte(hexdigits[c&0xf])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func upperHex(c byte) byte {
+	if c >= 'a' && c <= 'f' {
+		return c - 'a' + 'A'
+	}
+	return c
+}

@@ -1,0 +1,275 @@
+// Package webserver hosts instrumented websites over an in-memory network
+// for the paper's §5 and §6 experiments: sites with configurable
+// robots.txt, linked content pages, request logging (the "web server
+// logs" the passive measurement analyses), and pluggable active-blocking
+// hooks.
+package webserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Page is one servable resource on a site.
+type Page struct {
+	// ContentType defaults to text/html when empty.
+	ContentType string
+	// Body is the response payload.
+	Body string
+}
+
+// BlockDecision is an active-blocking outcome for a request.
+type BlockDecision struct {
+	// Status is the HTTP status to return (e.g. 403).
+	Status int
+	// Body is the block or challenge page markup.
+	Body string
+	// Challenge marks CAPTCHA-style challenge pages, which the §6.3
+	// inference flow distinguishes from hard blocks.
+	Challenge bool
+}
+
+// Blocker inspects a request before content is served. A nil return means
+// the request passes. Implementations live in internal/blocking and
+// internal/proxy.
+type Blocker interface {
+	Check(r *http.Request) *BlockDecision
+}
+
+// BlockerFunc adapts a function to the Blocker interface.
+type BlockerFunc func(r *http.Request) *BlockDecision
+
+// Check implements Blocker.
+func (f BlockerFunc) Check(r *http.Request) *BlockDecision { return f(r) }
+
+// Config describes a site to host.
+type Config struct {
+	// Domain registers the site in the network's name service.
+	Domain string
+	// IP is the listen address.
+	IP string
+	// RobotsTxt is served at /robots.txt; nil means the site has no
+	// robots.txt (404).
+	RobotsTxt *string
+	// Pages maps paths (starting with '/') to content.
+	Pages map[string]Page
+	// Blocker, when set, screens every request (including robots.txt,
+	// like real reverse proxies do).
+	Blocker Blocker
+}
+
+// Record is one logged request, the unit of §5's passive analysis.
+type Record struct {
+	Time      time.Time
+	RemoteIP  string
+	UserAgent string
+	Path      string
+	Status    int
+	Bytes     int
+}
+
+// Site is a running instrumented website.
+type Site struct {
+	cfg Config
+
+	mu   sync.Mutex
+	log  []Record
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Start hosts the site on nw at cfg.IP:80 and registers cfg.Domain.
+func Start(nw *netsim.Network, cfg Config) (*Site, error) {
+	if cfg.Domain == "" || cfg.IP == "" {
+		return nil, fmt.Errorf("webserver: domain and IP are required")
+	}
+	ln, err := nw.Listen(cfg.IP, 80)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: %w", err)
+	}
+	nw.Register(cfg.Domain, cfg.IP)
+	s := &Site{cfg: cfg, ln: ln, done: make(chan struct{})}
+	s.srv = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the site.
+func (s *Site) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Domain returns the site's registered name.
+func (s *Site) Domain() string { return s.cfg.Domain }
+
+// URL returns the site's base URL.
+func (s *Site) URL() string { return "http://" + s.cfg.Domain }
+
+// SetRobots replaces the robots.txt content at runtime (nil removes it).
+func (s *Site) SetRobots(txt *string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.RobotsTxt = txt
+}
+
+// SetBlocker replaces the active-blocking hook at runtime.
+func (s *Site) SetBlocker(b Blocker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Blocker = b
+}
+
+func (s *Site) handle(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	robotsTxt := s.cfg.RobotsTxt
+	blocker := s.cfg.Blocker
+	page, havePage := s.cfg.Pages[r.URL.Path]
+	s.mu.Unlock()
+
+	status := http.StatusOK
+	var body, contentType string
+
+	var decision *BlockDecision
+	if blocker != nil {
+		decision = blocker.Check(r)
+	}
+	switch {
+	case decision != nil:
+		status, body, contentType = decision.Status, decision.Body, "text/html"
+	case r.URL.Path == "/robots.txt":
+		if robotsTxt == nil {
+			status, body = http.StatusNotFound, "no robots.txt\n"
+		} else {
+			body, contentType = *robotsTxt, "text/plain"
+		}
+	case havePage:
+		body = page.Body
+		contentType = page.ContentType
+	default:
+		status, body = http.StatusNotFound, "not found\n"
+	}
+	if contentType == "" {
+		contentType = "text/html; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
+	n, _ := w.Write([]byte(body))
+
+	host, _, _ := net.SplitHostPort(r.RemoteAddr)
+	s.mu.Lock()
+	s.log = append(s.log, Record{
+		Time:      time.Now(),
+		RemoteIP:  host,
+		UserAgent: r.UserAgent(),
+		Path:      r.URL.Path,
+		Status:    status,
+		Bytes:     n,
+	})
+	s.mu.Unlock()
+}
+
+// Log returns a copy of all requests logged so far.
+func (s *Site) Log() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.log...)
+}
+
+// RequestsMatching returns logged requests whose user agent contains the
+// given substring (case-insensitive).
+func (s *Site) RequestsMatching(uaSubstring string) []Record {
+	var out []Record
+	needle := strings.ToLower(uaSubstring)
+	for _, rec := range s.Log() {
+		if strings.Contains(strings.ToLower(rec.UserAgent), needle) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// ObservedAgents returns the distinct product-token-bearing user agents
+// seen in the log, sorted.
+func (s *Site) ObservedAgents() []string {
+	seen := map[string]bool{}
+	for _, rec := range s.Log() {
+		seen[rec.UserAgent] = true
+	}
+	out := make([]string, 0, len(seen))
+	for ua := range seen {
+		out = append(out, ua)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ContentPages returns a small interlinked site: an index page linking to
+// articles and gallery images, mirroring the "basic text, images, and
+// links to other pages" of the paper's measurement sites (§5.1).
+func ContentPages(domain string) map[string]Page {
+	abs := func(p string) string { return "http://" + domain + p }
+	return map[string]Page{
+		"/": {Body: `<html><head><title>` + domain + `</title></head><body>
+<h1>Welcome to ` + domain + `</h1>
+<p>Portfolio of original artwork.</p>
+<a href="` + abs("/about.html") + `">About</a>
+<a href="` + abs("/gallery.html") + `">Gallery</a>
+<a href="/blog/post1.html">Latest post</a>
+</body></html>`},
+		"/about.html": {Body: `<html><body><h1>About</h1>
+<p>Contact and biography.</p><a href="/">Home</a></body></html>`},
+		"/gallery.html": {Body: `<html><body><h1>Gallery</h1>
+<img src="/images/art1.png"><img src="/images/art2.png">
+<a href="/images/art1.png">Artwork 1</a>
+<a href="/images/art2.png">Artwork 2</a></body></html>`},
+		"/blog/post1.html": {Body: `<html><body><h1>Post</h1>
+<p>Some writing about process.</p><a href="/gallery.html">Gallery</a></body></html>`},
+		"/images/art1.png": {ContentType: "image/png", Body: fakePNG},
+		"/images/art2.png": {ContentType: "image/png", Body: fakePNG},
+	}
+}
+
+// fakePNG is a minimal PNG header followed by filler, enough to be a
+// plausible binary asset in logs.
+var fakePNG = "\x89PNG\r\n\x1a\n" + strings.Repeat("artbytes", 64)
+
+// WildcardDisallowSite returns the first §5.1 measurement site: a
+// robots.txt disallowing all crawlers with the wildcard rule.
+func WildcardDisallowSite(domain, ip string) Config {
+	robots := "User-agent: *\nDisallow: /\n"
+	return Config{
+		Domain:    domain,
+		IP:        ip,
+		RobotsTxt: &robots,
+		Pages:     ContentPages(domain),
+	}
+}
+
+// PerAgentDisallowSite returns the second §5.1 measurement site: a
+// robots.txt disallowing each AI user agent individually.
+func PerAgentDisallowSite(domain, ip string, agentTokens []string) Config {
+	var b strings.Builder
+	for _, ua := range agentTokens {
+		fmt.Fprintf(&b, "User-agent: %s\nDisallow: /\n\n", ua)
+	}
+	robots := b.String()
+	return Config{
+		Domain:    domain,
+		IP:        ip,
+		RobotsTxt: &robots,
+		Pages:     ContentPages(domain),
+	}
+}

@@ -1,0 +1,204 @@
+package webserver
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func get(t *testing.T, client *http.Client, url, ua string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua != "" {
+		req.Header.Set("User-Agent", ua)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func TestSiteServesContentAndLogs(t *testing.T) {
+	nw := netsim.New()
+	site, err := Start(nw, WildcardDisallowSite("art.test", "203.0.113.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	client := nw.HTTPClient("198.51.100.9")
+	resp, body := get(t, client, site.URL()+"/robots.txt", "GPTBot/1.0")
+	if resp.StatusCode != 200 {
+		t.Fatalf("robots.txt status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "User-agent: *") {
+		t.Fatalf("robots body = %q", body)
+	}
+	resp, body = get(t, client, site.URL()+"/", "GPTBot/1.0")
+	if resp.StatusCode != 200 || !strings.Contains(body, "Welcome") {
+		t.Fatalf("index fetch: %d %q", resp.StatusCode, body[:40])
+	}
+	resp, _ = get(t, client, site.URL()+"/missing", "GPTBot/1.0")
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing page status = %d", resp.StatusCode)
+	}
+
+	log := site.Log()
+	if len(log) != 3 {
+		t.Fatalf("log entries = %d, want 3", len(log))
+	}
+	for _, rec := range log {
+		if rec.RemoteIP != "198.51.100.9" {
+			t.Errorf("logged remote IP = %q", rec.RemoteIP)
+		}
+		if !strings.Contains(rec.UserAgent, "GPTBot") {
+			t.Errorf("logged UA = %q", rec.UserAgent)
+		}
+	}
+	if log[0].Path != "/robots.txt" || log[0].Status != 200 {
+		t.Errorf("first record = %+v", log[0])
+	}
+	if log[2].Status != 404 {
+		t.Errorf("third record status = %d", log[2].Status)
+	}
+}
+
+func TestNoRobotsSite(t *testing.T) {
+	nw := netsim.New()
+	cfg := Config{Domain: "bare.test", IP: "203.0.113.2", Pages: ContentPages("bare.test")}
+	site, err := Start(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.10")
+	resp, _ := get(t, client, site.URL()+"/robots.txt", "CCBot/2.0")
+	if resp.StatusCode != 404 {
+		t.Fatalf("robots on bare site = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSetRobotsAtRuntime(t *testing.T) {
+	nw := netsim.New()
+	site, err := Start(nw, Config{Domain: "dyn.test", IP: "203.0.113.3",
+		Pages: ContentPages("dyn.test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.11")
+	resp, _ := get(t, client, site.URL()+"/robots.txt", "x")
+	if resp.StatusCode != 404 {
+		t.Fatal("expected no robots initially")
+	}
+	robots := "User-agent: GPTBot\nDisallow: /\n"
+	site.SetRobots(&robots)
+	resp, body := get(t, client, site.URL()+"/robots.txt", "x")
+	if resp.StatusCode != 200 || !strings.Contains(body, "GPTBot") {
+		t.Fatalf("updated robots: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestBlockerScreensRequests(t *testing.T) {
+	nw := netsim.New()
+	cfg := WildcardDisallowSite("blocked.test", "203.0.113.4")
+	cfg.Blocker = BlockerFunc(func(r *http.Request) *BlockDecision {
+		if strings.Contains(strings.ToLower(r.UserAgent()), "claudebot") {
+			return &BlockDecision{Status: 403, Body: "<html>blocked</html>"}
+		}
+		return nil
+	})
+	site, err := Start(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.12")
+
+	resp, body := get(t, client, site.URL()+"/", "ClaudeBot/1.0")
+	if resp.StatusCode != 403 || !strings.Contains(body, "blocked") {
+		t.Fatalf("blocked fetch: %d %q", resp.StatusCode, body)
+	}
+	// The blocker screens robots.txt too, like real reverse proxies.
+	resp, _ = get(t, client, site.URL()+"/robots.txt", "ClaudeBot/1.0")
+	if resp.StatusCode != 403 {
+		t.Fatalf("robots for blocked UA = %d, want 403", resp.StatusCode)
+	}
+	// Other agents pass.
+	resp, _ = get(t, client, site.URL()+"/", "GPTBot/1.0")
+	if resp.StatusCode != 200 {
+		t.Fatalf("unblocked fetch = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestsMatchingAndObservedAgents(t *testing.T) {
+	nw := netsim.New()
+	site, err := Start(nw, WildcardDisallowSite("obs.test", "203.0.113.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	for i, ua := range []string{"GPTBot/1.0", "ClaudeBot/1.0", "GPTBot/1.0"} {
+		ip := "198.51.100." + string(rune('1'+i))
+		client := nw.HTTPClient(ip)
+		get(t, client, site.URL()+"/", ua)
+	}
+	if got := len(site.RequestsMatching("gptbot")); got != 2 {
+		t.Fatalf("GPTBot requests = %d, want 2", got)
+	}
+	agents := site.ObservedAgents()
+	if len(agents) != 2 {
+		t.Fatalf("observed agents = %v", agents)
+	}
+}
+
+func TestPerAgentDisallowSiteRobots(t *testing.T) {
+	cfg := PerAgentDisallowSite("x.test", "203.0.113.6", []string{"GPTBot", "CCBot"})
+	if !strings.Contains(*cfg.RobotsTxt, "User-agent: GPTBot\nDisallow: /") {
+		t.Fatalf("per-agent robots missing GPTBot: %q", *cfg.RobotsTxt)
+	}
+	if strings.Contains(*cfg.RobotsTxt, "User-agent: *") {
+		t.Fatal("per-agent site must not use the wildcard")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	nw := netsim.New()
+	if _, err := Start(nw, Config{IP: "1.2.3.4"}); err == nil {
+		t.Fatal("missing domain must fail")
+	}
+	if _, err := Start(nw, Config{Domain: "x.test"}); err == nil {
+		t.Fatal("missing IP must fail")
+	}
+	if _, err := Start(nw, Config{Domain: "x.test", IP: "bogus"}); err == nil {
+		t.Fatal("bad IP must fail")
+	}
+}
+
+func TestContentPagesInterlinked(t *testing.T) {
+	pages := ContentPages("linked.test")
+	if _, ok := pages["/"]; !ok {
+		t.Fatal("no index page")
+	}
+	if !strings.Contains(pages["/"].Body, "/gallery.html") {
+		t.Fatal("index must link to the gallery")
+	}
+	if pages["/images/art1.png"].ContentType != "image/png" {
+		t.Fatal("image content type wrong")
+	}
+}
+
+// newTestNetwork is shared by the CLF tests.
+func newTestNetwork(t *testing.T) *netsim.Network {
+	t.Helper()
+	return netsim.New()
+}
