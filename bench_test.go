@@ -11,11 +11,14 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 
 	"repro/internal/agents"
 	"repro/internal/blocking"
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/crawler"
 	"repro/internal/hosting"
@@ -37,11 +40,131 @@ const benchScale = 0.05
 
 func benchCorpus(b *testing.B) *corpus.Corpus {
 	b.Helper()
-	c, err := corpus.New(corpus.Config{Seed: benchSeed, Scale: benchScale})
+	c, err := corpus.New(context.Background(), corpus.Config{Seed: benchSeed, Scale: benchScale})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return c
+}
+
+// benchConfig is the engine configuration for BenchmarkRunAll: every
+// registered experiment at bench scale.
+func benchConfig() core.Config {
+	return core.Config{
+		Seed:            benchSeed,
+		Scale:           benchScale,
+		BlockingSites:   300,
+		CloudflareSites: 200,
+		Apps:            40,
+		Workers:         16,
+	}
+}
+
+// longitudinalIDs are the experiments the seed's package-global
+// longitudinal cache shared one corpus+analysis across; every other
+// substrate (blocking surveys, survey population, ablation corpus) was
+// rebuilt per experiment in the seed.
+var longitudinalIDs = []string{"figure2", "figure3", "figure4", "table3", "table4", "robots-lint"}
+
+// BenchmarkRunAll measures the experiment engine against the seed's
+// execution model. The three variants are:
+//
+//   - seed_path: the seed's sequential loop with the seed's sharing
+//     semantics — the six longitudinal-backed experiments share one
+//     environment (the seed shared exactly that analysis through a
+//     package-global cache), and every other experiment gets a fresh
+//     environment, rebuilding its substrates as the seed did (the
+//     detector ablation re-runs the full blocking survey, the parser
+//     ablation rebuilds its corpus, the survey population regenerates);
+//   - sequential: one RunAll with Parallelism 1, so all experiments
+//     share all substrates through the Env cache but still run one at
+//     a time;
+//   - parallel4: the same shared-cache run on a 4-wide worker pool,
+//     which additionally overlaps independent experiments when the
+//     hardware has cores to spare.
+//
+// The seed_path/sequential ratio is the win from generalizing the
+// seed's single-substrate cache to every substrate, and reproduces on
+// any machine; the sequential/parallel4 ratio adds scheduler overlap
+// and scales with available cores.
+func BenchmarkRunAll(b *testing.B) {
+	ctx := context.Background()
+
+	b.Run("seed_path", func(b *testing.B) {
+		longitudinal := make(map[string]bool)
+		for _, id := range longitudinalIDs {
+			longitudinal[id] = true
+		}
+		for i := 0; i < b.N; i++ {
+			// One RunAll = one shared Env for the longitudinal group,
+			// mirroring the seed's global longitudinal cache.
+			if _, err := core.RunAll(ctx, benchConfig(), core.Options{
+				Parallelism: 1,
+				IDs:         longitudinalIDs,
+				Sink:        core.NewTextSink(io.Discard),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range core.Experiments() {
+				if longitudinal[e.ID] {
+					continue
+				}
+				// Everything else: a fresh Env per experiment, nothing
+				// shared, as in the seed.
+				if _, err := core.RunAll(ctx, benchConfig(), core.Options{
+					Parallelism: 1,
+					IDs:         []string{e.ID},
+					Sink:        core.NewTextSink(io.Discard),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel4", 4},
+		{"parallel8", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := core.RunAll(ctx, benchConfig(), core.Options{
+					Parallelism: bc.parallelism,
+					Sink:        core.NewTextSink(io.Discard),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(core.Experiments()) {
+					b.Fatalf("ran %d experiments", len(results))
+				}
+			}
+			b.ReportMetric(float64(bc.parallelism), "parallelism")
+		})
+	}
+}
+
+// BenchmarkRunAllSubset measures the engine on the longitudinal-heavy
+// subset, where the shared corpus cache does the most work.
+func BenchmarkRunAllSubset(b *testing.B) {
+	ctx := context.Background()
+	ids := longitudinalIDs
+	for _, parallelism := range []int{1, 6} {
+		b.Run(fmt.Sprintf("parallel%d", parallelism), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunAll(ctx, benchConfig(), core.Options{
+					Parallelism: parallelism,
+					IDs:         ids,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFigure2Trend regenerates Figure 2 (full-disallow trends by
@@ -50,7 +173,7 @@ func BenchmarkFigure2Trend(b *testing.B) {
 	var last *longitudinal.Result
 	for i := 0; i < b.N; i++ {
 		c := benchCorpus(b)
-		res, err := longitudinal.Analyze(c)
+		res, err := longitudinal.Analyze(context.Background(), c, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +190,7 @@ func BenchmarkFigure3PerAgent(b *testing.B) {
 	var last *longitudinal.Result
 	for i := 0; i < b.N; i++ {
 		c := benchCorpus(b)
-		res, err := longitudinal.Analyze(c)
+		res, err := longitudinal.Analyze(context.Background(), c, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +206,7 @@ func BenchmarkFigure4AllowRemoval(b *testing.B) {
 	var last *longitudinal.Result
 	for i := 0; i < b.N; i++ {
 		c := benchCorpus(b)
-		res, err := longitudinal.Analyze(c)
+		res, err := longitudinal.Analyze(context.Background(), c, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +286,7 @@ func BenchmarkTable4ExplicitAllow(b *testing.B) {
 	var rows int
 	for i := 0; i < b.N; i++ {
 		c := benchCorpus(b)
-		res, err := longitudinal.Analyze(c)
+		res, err := longitudinal.Analyze(context.Background(), c, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +349,7 @@ func BenchmarkNoAIMetaScan(b *testing.B) {
 func BenchmarkActiveBlockingSurvey(b *testing.B) {
 	var blockers int
 	for i := 0; i < b.N; i++ {
-		res, err := blocking.RunSurvey(400, benchSeed, 16, blocking.DefaultDetector)
+		res, err := blocking.RunSurvey(context.Background(), 400, benchSeed, 16, blocking.DefaultDetector)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -254,7 +377,7 @@ func BenchmarkCloudflareGreyBox(b *testing.B) {
 func BenchmarkFigure7Inference(b *testing.B) {
 	var onRate float64
 	for i := 0; i < b.N; i++ {
-		res, err := proxy.RunInferenceSurvey(400, benchSeed, 16)
+		res, err := proxy.RunInferenceSurvey(context.Background(), 400, benchSeed, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -359,11 +482,11 @@ func BenchmarkAblationPrecedence(b *testing.B) {
 func BenchmarkAblationDetectorFeatures(b *testing.B) {
 	var fullN, statusN int
 	for i := 0; i < b.N; i++ {
-		full, err := blocking.RunSurvey(300, benchSeed, 16, blocking.DefaultDetector)
+		full, err := blocking.RunSurvey(context.Background(), 300, benchSeed, 16, blocking.DefaultDetector)
 		if err != nil {
 			b.Fatal(err)
 		}
-		statusOnly, err := blocking.RunSurvey(300, benchSeed, 16, blocking.StatusOnlyDetector)
+		statusOnly, err := blocking.RunSurvey(context.Background(), 300, benchSeed, 16, blocking.StatusOnlyDetector)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -383,11 +506,11 @@ func BenchmarkAblationCorpusScale(b *testing.B) {
 	}{{"scale_0.02", 0.02}, {"scale_0.10", 0.10}} {
 		b.Run(scale.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := corpus.New(corpus.Config{Seed: benchSeed, Scale: scale.scale})
+				c, err := corpus.New(context.Background(), corpus.Config{Seed: benchSeed, Scale: scale.scale})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := longitudinal.Analyze(c); err != nil {
+				if _, err := longitudinal.Analyze(context.Background(), c, 16); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/blocking"
 	"repro/internal/proxy"
@@ -28,12 +30,15 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *cloudflare {
 		n := *sites
 		if n == 10_000 {
 			n = 2_018 // the paper's Cloudflare population
 		}
-		res, err := proxy.RunInferenceSurvey(n, *seed, *workers)
+		res, err := proxy.RunInferenceSurvey(ctx, n, *seed, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blockprobe: %v\n", err)
 			os.Exit(1)
@@ -50,7 +55,7 @@ func main() {
 		return
 	}
 
-	res, err := blocking.RunSurvey(*sites, *seed, *workers, blocking.DefaultDetector)
+	res, err := blocking.RunSurvey(ctx, *sites, *seed, *workers, blocking.DefaultDetector)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "blockprobe: %v\n", err)
 		os.Exit(1)

@@ -2,18 +2,27 @@
 // and figure from "Somesite I Used To Crawl" (IMC '25), regenerated from
 // the simulation substrates in this repository.
 //
+// Experiments are scheduled by the core engine on a bounded worker pool;
+// output is byte-identical at any parallelism because results stream to
+// the sink in registration order and all shared substrates (corpus,
+// longitudinal analysis, surveys) are built once in a shared cache.
+//
 // Usage:
 //
 //	somesite -list
-//	somesite -run figure2,table1
-//	somesite -run all -quick
-//	somesite -run figure7 -seed 7 -scale 0.5
+//	somesite -only figure2,table1
+//	somesite -quick -parallel 8
+//	somesite -only figure7 -seed 7 -scale 0.5 -format json
+//	somesite -timeout 10m -format markdown
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,13 +30,20 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		quick = flag.Bool("quick", false, "run at reduced scale (fast, CI-friendly)")
-		seed  = flag.Int64("seed", 0, "override the random seed (0 = paper default)")
-		scale = flag.Float64("scale", 0, "override the corpus scale (0 = config default)")
-		md    = flag.Bool("markdown", false, "render results as GitHub-flavored markdown")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		only     = flag.String("only", "", "comma-separated experiment ids (empty = all)")
+		quick    = flag.Bool("quick", false, "run at reduced scale (fast, CI-friendly)")
+		seed     = flag.Int64("seed", 0, "override the random seed (0 = paper default)")
+		scale    = flag.Float64("scale", 0, "override the corpus scale (0 = config default)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = sequential)")
+		format   = flag.String("format", "text", "output format: text, markdown, or json")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		workers  = flag.Int("workers", 0, "substrate/probe pool size (0 = config default)")
 	)
 	flag.Parse()
 
@@ -35,7 +51,7 @@ func main() {
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	cfg := core.DefaultConfig()
@@ -48,43 +64,50 @@ func main() {
 	if *scale != 0 {
 		cfg.Scale = *scale
 	}
+	if *workers != 0 {
+		cfg.Workers = *workers
+	}
 
-	var selected []core.Experiment
-	if *run == "all" {
-		selected = core.Experiments()
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := core.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "somesite: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, e)
+	sink, err := core.NewSink(*format, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var ids []string
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
 	}
 
-	exit := 0
-	for _, e := range selected {
-		start := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "somesite: %s failed: %v\n", e.ID, err)
-			exit = 1
-			continue
-		}
-		render := core.Render
-		if *md {
-			render = core.RenderMarkdown
-		}
-		if err := render(os.Stdout, res); err != nil {
-			fmt.Fprintf(os.Stderr, "somesite: rendering %s: %v\n", e.ID, err)
-			exit = 1
-			continue
-		}
-		if !*md {
-			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
+	start := time.Now()
+	results, err := core.RunAll(ctx, cfg, core.Options{
+		Parallelism: *parallel,
+		IDs:         ids,
+		Sink:        sink,
+	})
+	if cerr := sink.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
-	os.Exit(exit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
+		if results == nil {
+			return 2 // nothing ran (unknown id, bad flags)
+		}
+		return 1
+	}
+	if *format == "text" {
+		fmt.Printf("(%d experiments completed in %v, parallelism %d)\n",
+			len(results), time.Since(start).Round(time.Millisecond), *parallel)
+	}
+	return 0
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/corpus"
@@ -11,15 +12,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("building a 1/10-scale Stable Top 100k corpus (15 snapshots, Oct 2022 – Oct 2024)…")
-	c, err := corpus.New(corpus.Config{Seed: 42, Scale: 0.1})
+	c, err := corpus.New(ctx, corpus.Config{Seed: 42, Scale: 0.1})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("  %d analysis sites (%d in the stable top 5k tier)\n\n",
 		len(c.Sites()), c.Top5kCount())
 
-	res, err := longitudinal.Analyze(c)
+	res, err := longitudinal.Analyze(ctx, c, 0)
 	if err != nil {
 		panic(err)
 	}

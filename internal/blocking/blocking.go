@@ -364,8 +364,9 @@ type SurveyResult struct {
 
 // RunSurvey generates a population of n sites, hosts them, probes each
 // with the §6.1 detector, and checks robots.txt overlap for detected
-// blockers. workers bounds probe concurrency.
-func RunSurvey(n int, seed int64, workers int, opts DetectorOptions) (*SurveyResult, error) {
+// blockers. workers bounds probe concurrency; cancellation is honored
+// between sites.
+func RunSurvey(ctx context.Context, n int, seed int64, workers int, opts DetectorOptions) (*SurveyResult, error) {
 	if workers <= 0 {
 		workers = 32
 	}
@@ -378,7 +379,12 @@ func RunSurvey(n int, seed int64, workers int, opts DetectorOptions) (*SurveyRes
 			s.Close()
 		}
 	}()
-	for _, spec := range specs {
+	for i, spec := range specs {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		site, err := StartSite(nw, spec, 1500+sizeRand.Intn(3000))
 		if err != nil {
 			return nil, err
@@ -399,7 +405,10 @@ func RunSurvey(n int, seed int64, workers int, opts DetectorOptions) (*SurveyRes
 			defer wg.Done()
 			p := prober()
 			for j := range jobs {
-				out, err := p.Probe(context.Background(), "http://"+specs[j.i].Domain+"/")
+				if ctx.Err() != nil {
+					continue // drain remaining jobs after cancellation
+				}
+				out, err := p.Probe(ctx, "http://"+specs[j.i].Domain+"/")
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -417,6 +426,9 @@ func RunSurvey(n int, seed int64, workers int, opts DetectorOptions) (*SurveyRes
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

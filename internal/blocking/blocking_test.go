@@ -161,7 +161,7 @@ func TestGeneratePopulationCounts(t *testing.T) {
 
 func TestRunSurveySmall(t *testing.T) {
 	n := 400
-	res, err := RunSurvey(n, 9, 16, DefaultDetector)
+	res, err := RunSurvey(context.Background(), n, 9, 16, DefaultDetector)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +188,11 @@ func TestRunSurveySmall(t *testing.T) {
 
 func TestStatusOnlyDetectorUndercounts(t *testing.T) {
 	n := 400
-	full, err := RunSurvey(n, 9, 16, DefaultDetector)
+	full, err := RunSurvey(context.Background(), n, 9, 16, DefaultDetector)
 	if err != nil {
 		t.Fatal(err)
 	}
-	statusOnly, err := RunSurvey(n, 9, 16, StatusOnlyDetector)
+	statusOnly, err := RunSurvey(context.Background(), n, 9, 16, StatusOnlyDetector)
 	if err != nil {
 		t.Fatal(err)
 	}

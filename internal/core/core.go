@@ -1,14 +1,16 @@
-// Package core is the experiment registry: every table and figure in the
+// Package core is the experiment engine: every table and figure in the
 // paper's evaluation is a named, runnable Experiment that drives the
-// substrate packages and renders results in the paper's shape. The
-// cmd/somesite binary and the benchmark harness are thin wrappers around
-// this package.
+// substrate packages through a shared Env and renders results in the
+// paper's shape. RunAll schedules independent experiments on a bounded
+// worker pool and emits results to a pluggable Sink in deterministic
+// registration order. The cmd/somesite binary and the benchmark harness
+// are thin wrappers around this package.
 package core
 
 import (
+	"context"
 	"fmt"
-	"io"
-	"strings"
+	"runtime"
 	"sync"
 
 	"repro/internal/stats"
@@ -28,8 +30,16 @@ type Config struct {
 	CloudflareSites int
 	// Apps is the number of GPT apps exercised in §5.2.2.
 	Apps int
-	// Workers bounds probe concurrency.
+	// Workers bounds probe and substrate concurrency (0 = GOMAXPROCS).
 	Workers int
+}
+
+// EffectiveWorkers resolves the Workers field (0 means GOMAXPROCS).
+func (c Config) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig runs experiments at the paper's full scale.
@@ -64,10 +74,10 @@ type Table struct {
 
 // Section is one heading plus its content.
 type Section struct {
-	Heading string
-	Table   *Table
-	Series  []stats.Series
-	Notes   []string
+	Heading string         `json:",omitempty"`
+	Table   *Table         `json:",omitempty"`
+	Series  []stats.Series `json:",omitempty"`
+	Notes   []string       `json:",omitempty"`
 }
 
 // Result is a completed experiment.
@@ -83,19 +93,25 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact in the paper's terms.
 	Title string
-	// Run executes the experiment.
-	Run func(cfg Config) (*Result, error)
+	// Run executes the experiment against a shared environment. It must
+	// honor ctx cancellation and must not mutate env beyond its cache.
+	Run func(ctx context.Context, env *Env) (*Result, error)
 }
 
 var (
-	registryMu sync.Mutex
-	registry   []Experiment
+	registryMu   sync.Mutex
+	registry     []Experiment
+	registryByID = make(map[string]Experiment)
 )
 
 func register(e Experiment) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
+	if _, dup := registryByID[e.ID]; dup {
+		panic(fmt.Sprintf("core: duplicate experiment id %q", e.ID))
+	}
 	registry = append(registry, e)
+	registryByID[e.ID] = e
 }
 
 // Experiments returns all registered experiments in registration order.
@@ -107,69 +123,10 @@ func Experiments() []Experiment {
 
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
-}
-
-// Render writes a result as aligned text.
-func Render(w io.Writer, res *Result) error {
-	if _, err := fmt.Fprintf(w, "=== %s — %s ===\n", res.ID, res.Title); err != nil {
-		return err
-	}
-	for _, sec := range res.Sections {
-		if sec.Heading != "" {
-			fmt.Fprintf(w, "\n%s\n", sec.Heading)
-		}
-		if sec.Table != nil {
-			renderTable(w, sec.Table)
-		}
-		for _, s := range sec.Series {
-			fmt.Fprintf(w, "  %-24s %s  (last %.2f, max %.2f)\n",
-				s.Name, s.Sparkline(), s.Last().Value, s.Max())
-		}
-		for _, note := range sec.Notes {
-			fmt.Fprintf(w, "  note: %s\n", note)
-		}
-	}
-	fmt.Fprintln(w)
-	return nil
-}
-
-func renderTable(w io.Writer, t *Table) {
-	widths := make([]int, len(t.Headers))
-	for i, h := range t.Headers {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	line := func(cells []string) {
-		var sb strings.Builder
-		sb.WriteString("  ")
-		for i, cell := range cells {
-			pad := widths[i] - len(cell)
-			sb.WriteString(cell)
-			sb.WriteString(strings.Repeat(" ", pad+2))
-		}
-		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
-	}
-	line(t.Headers)
-	sep := make([]string, len(t.Headers))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range t.Rows {
-		line(row)
-	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	e, ok := registryByID[id]
+	return e, ok
 }
 
 // pct formats a percentage cell.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -37,10 +38,12 @@ func TestRegistryComplete(t *testing.T) {
 func TestAllExperimentsRunAtQuickScale(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.Seed = 31
+	env := NewEnv(cfg)
+	ctx := context.Background()
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, err := e.Run(cfg)
+			res, err := e.Run(ctx, env)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -95,13 +98,16 @@ func TestRenderTableAlignment(t *testing.T) {
 }
 
 func TestCacheReuse(t *testing.T) {
+	ctx := context.Background()
 	cfg := QuickConfig()
 	cfg.Seed = 32
-	r1, err := analyzed(cfg)
+	cfg.Scale = 0.03
+	env := NewEnv(cfg)
+	r1, err := env.Longitudinal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := analyzed(cfg)
+	r2, err := env.Longitudinal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +116,12 @@ func TestCacheReuse(t *testing.T) {
 	}
 	cfg2 := cfg
 	cfg2.Seed = 33
-	r3, err := analyzed(cfg2)
+	r3, err := NewEnv(cfg2).Longitudinal(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r3 == r1 {
-		t.Fatal("different seeds must not share cache entries")
+		t.Fatal("separate environments must not share cache entries")
 	}
 }
 
@@ -154,5 +160,26 @@ func TestRenderMarkdown(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRenderRaggedRow(t *testing.T) {
+	res := &Result{
+		ID: "demo", Title: "demo",
+		Sections: []Section{{Table: &Table{
+			Headers: []string{"a", "b"},
+			Rows:    [][]string{{"1", "2", "EXTRA"}, {"3"}},
+		}}},
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "EXTRA") {
+		t.Errorf("cells beyond the header count must be dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "3") {
+		t.Errorf("in-bounds cells missing:\n%s", out)
 	}
 }

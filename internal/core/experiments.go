@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -56,8 +58,8 @@ func seriesTable(headers []string, series ...stats.Series) *Table {
 	return t
 }
 
-func runFigure2(cfg Config) (*Result, error) {
-	res, err := analyzed(cfg)
+func runFigure2(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.Longitudinal(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +80,8 @@ func runFigure2(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runFigure3(cfg Config) (*Result, error) {
-	res, err := analyzed(cfg)
+func runFigure3(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.Longitudinal(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -103,8 +105,8 @@ func runFigure3(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runFigure4(cfg Config) (*Result, error) {
-	res, err := analyzed(cfg)
+func runFigure4(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.Longitudinal(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -132,8 +134,8 @@ func runFigure4(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable1(cfg Config) (*Result, error) {
-	passive, err := measure.RunPassive(cfg.Seed)
+func runTable1(ctx context.Context, env *Env) (*Result, error) {
+	passive, err := env.PassiveMeasurement(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -161,8 +163,11 @@ func runTable1(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable2(cfg Config) (*Result, error) {
-	pop := hosting.GeneratePopulation(0, cfg.Seed)
+func runTable2(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pop := hosting.GeneratePopulation(0, env.Config.Seed)
 	rows := hosting.Table2(pop)
 	sum := hosting.Summarize(pop)
 	t := &Table{Headers: []string{"hosting provider", "% sites", "edit?", "% disallow AI"}}
@@ -188,8 +193,8 @@ func runTable2(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runTable3(cfg Config) (*Result, error) {
-	res, err := analyzed(cfg)
+func runTable3(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.Longitudinal(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -202,13 +207,13 @@ func runTable3(cfg Config) (*Result, error) {
 		Title: "Snapshots used in the historic AI crawler analysis",
 		Sections: []Section{{
 			Table: t,
-			Notes: []string{fmt.Sprintf("counts scale with corpus scale %.2f; at 1.0 they match Table 3 exactly", cfg.Scale)},
+			Notes: []string{fmt.Sprintf("counts scale with corpus scale %.2f; at 1.0 they match Table 3 exactly", env.Config.Scale)},
 		}},
 	}, nil
 }
 
-func runTable4(cfg Config) (*Result, error) {
-	res, err := analyzed(cfg)
+func runTable4(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.Longitudinal(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +231,11 @@ func runTable4(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runSurveyDemographics(cfg Config) (*Result, error) {
-	pop := survey.Generate(cfg.Seed)
+func runSurveyDemographics(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pop := env.SurveyPopulation()
 
 	t5 := &Table{Headers: []string{"duration", "count"}}
 	total5 := 0
@@ -271,8 +279,11 @@ func runSurveyDemographics(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runSurveyHeadline(cfg Config) (*Result, error) {
-	pop := survey.Generate(cfg.Seed)
+func runSurveyHeadline(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pop := env.SurveyPopulation()
 	h := pop.ComputeHeadline()
 	t := &Table{Headers: []string{"finding", "measured", "paper"}}
 	add := func(name, measured, paper string) {
@@ -301,8 +312,11 @@ func runSurveyHeadline(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runSurveyCodebook(cfg Config) (*Result, error) {
-	pop := survey.Generate(cfg.Seed)
+func runSurveyCodebook(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pop := env.SurveyPopulation()
 	var sections []Section
 	titles := map[string]string{
 		survey.QOtherActions: "Table 9 — other actions taken against AI art",
@@ -324,8 +338,11 @@ func runSurveyCodebook(cfg Config) (*Result, error) {
 	return &Result{ID: "survey-codebook", Title: "Codebook theme frequencies", Sections: sections}, nil
 }
 
-func runNoAIMeta(cfg Config) (*Result, error) {
-	res := metatags.RunTop10kScan(cfg.Seed)
+func runNoAIMeta(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := metatags.RunTop10kScan(env.Config.Seed)
 	t := &Table{
 		Headers: []string{"directive", "sites", "paper"},
 		Rows: [][]string{
@@ -343,8 +360,8 @@ func runNoAIMeta(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runActiveAssistants(cfg Config) (*Result, error) {
-	res, err := measure.RunActive(cfg.Seed, cfg.Apps)
+func runActiveAssistants(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.ActiveMeasurement(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -378,8 +395,8 @@ func runActiveAssistants(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runActiveBlocking(cfg Config) (*Result, error) {
-	res, err := blocking.RunSurvey(cfg.BlockingSites, cfg.Seed, cfg.Workers, blocking.DefaultDetector)
+func runActiveBlocking(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.BlockingSurvey(ctx, blocking.DefaultDetector)
 	if err != nil {
 		return nil, err
 	}
@@ -399,8 +416,11 @@ func runActiveBlocking(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runGreyBox(cfg Config) (*Result, error) {
-	res, err := proxy.RunGreyBox(cfg.Seed, 590)
+func runGreyBox(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := proxy.RunGreyBox(env.Config.Seed, 590)
 	if err != nil {
 		return nil, err
 	}
@@ -418,8 +438,8 @@ func runGreyBox(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runFigure7(cfg Config) (*Result, error) {
-	res, err := proxy.RunInferenceSurvey(cfg.CloudflareSites, cfg.Seed, cfg.Workers)
+func runFigure7(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.InferenceSurvey(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -447,8 +467,8 @@ func runFigure7(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runRobotsLint(cfg Config) (*Result, error) {
-	res, err := analyzed(cfg)
+func runRobotsLint(ctx context.Context, env *Env) (*Result, error) {
+	res, err := env.Longitudinal(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -469,8 +489,8 @@ func runRobotsLint(cfg Config) (*Result, error) {
 // runAblationParsers quantifies §8.1's parser-bug finding: the same
 // corpus measured through non-compliant parsers yields materially
 // different disallow rates.
-func runAblationParsers(cfg Config) (*Result, error) {
-	c, err := corpus.New(corpus.Config{Seed: cfg.Seed, Scale: minf(cfg.Scale, 0.15)})
+func runAblationParsers(ctx context.Context, env *Env) (*Result, error) {
+	c, err := env.CorpusAt(ctx, math.Min(env.Config.Scale, 0.15))
 	if err != nil {
 		return nil, err
 	}
@@ -486,6 +506,9 @@ func runAblationParsers(cfg Config) (*Result, error) {
 	t := &Table{Headers: []string{"parser profile", "agent restrictions found", "sites restricting ≥1 agent", "restrictions vs google"}}
 	var baseline int
 	for _, p := range profiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pairs, sites := 0, 0
 		for _, body := range bodies {
 			rb := robots.ParseStringProfile(body, p)
@@ -522,13 +545,12 @@ func runAblationParsers(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runAblationDetector(cfg Config) (*Result, error) {
-	n := cfg.BlockingSites
-	full, err := blocking.RunSurvey(n, cfg.Seed, cfg.Workers, blocking.DefaultDetector)
+func runAblationDetector(ctx context.Context, env *Env) (*Result, error) {
+	full, err := env.BlockingSurvey(ctx, blocking.DefaultDetector)
 	if err != nil {
 		return nil, err
 	}
-	statusOnly, err := blocking.RunSurvey(n, cfg.Seed, cfg.Workers, blocking.StatusOnlyDetector)
+	statusOnly, err := env.BlockingSurvey(ctx, blocking.StatusOnlyDetector)
 	if err != nil {
 		return nil, err
 	}
@@ -550,17 +572,21 @@ func runAblationDetector(cfg Config) (*Result, error) {
 // runMaintenanceGap quantifies §8.1's "burden placed on each site
 // administrator": a static blocklist written at the GPTBot surge loses
 // coverage as new agents are announced, while a managed list does not.
-func runMaintenanceGap(cfg Config) (*Result, error) {
+func runMaintenanceGap(ctx context.Context, env *Env) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	snaps := corpus.Snapshots
 	var dates []time.Time
-	for _, s := range corpus.Snapshots {
+	for _, s := range snaps {
 		dates = append(dates, s.Date)
 	}
-	freeze := corpus.Snapshots[corpus.GPTBotAnnouncedIndex].Date
+	freeze := snaps[corpus.GPTBotAnnouncedIndex].Date
 	covs := manager.MaintenanceGap(manager.BlockAllAI, freeze, dates)
 	t := &Table{Headers: []string{"snapshot", "agents announced", "static list covers", "managed list covers", "static gap"}}
 	for i, c := range covs {
 		t.Rows = append(t.Rows, []string{
-			corpus.Snapshots[i].ID, count(c.Announced), count(c.StaticCovered),
+			snaps[i].ID, count(c.Announced), count(c.StaticCovered),
 			count(c.ManagedCovered), pct(100 * c.Gap()),
 		})
 	}
@@ -581,11 +607,4 @@ func runMaintenanceGap(cfg Config) (*Result, error) {
 			},
 		}},
 	}, nil
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -18,10 +19,12 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs
 func TestGoldenOutputs(t *testing.T) {
 	cfg := QuickConfig()
 	cfg.Seed = 424242
+	env := NewEnv(cfg)
+	ctx := context.Background()
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, err := e.Run(cfg)
+			res, err := e.Run(ctx, env)
 			if err != nil {
 				t.Fatal(err)
 			}

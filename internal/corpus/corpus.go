@@ -17,10 +17,13 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/agents"
+	"repro/internal/par"
 	"repro/internal/ranking"
 	"repro/internal/stats"
 )
@@ -45,6 +48,11 @@ type Config struct {
 	// Scale multiplies every population size; 0 means 1.0 (full scale:
 	// 40,455 analysis sites). Use ~0.05 in unit tests.
 	Scale float64
+	// Workers bounds generation concurrency; 0 means GOMAXPROCS. The
+	// generated corpus is bit-identical for every worker count: each
+	// site's randomness comes from its own fork, and forks are derived
+	// sequentially before the parallel sampling passes.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -53,6 +61,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Scale == 0 {
 		c.Scale = 1.0
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -164,8 +175,11 @@ const (
 	backgroundAllowUA2 = "Amazonbot"
 )
 
-// New generates the corpus.
-func New(cfg Config) (*Corpus, error) {
+// New generates the corpus. Generation runs on a cfg.Workers-bounded
+// pool with cancellation checked between shards; the output is
+// bit-identical for every worker count because all randomness is drawn
+// from per-site forks derived in a fixed sequential order.
+func New(ctx context.Context, cfg Config) (*Corpus, error) {
 	cfg.fillDefaults()
 	if cfg.Scale < 0 {
 		return nil, fmt.Errorf("corpus: negative scale %v", cfg.Scale)
@@ -245,37 +259,57 @@ func New(cfg Config) (*Corpus, error) {
 		}
 	}
 
-	for _, d := range model.StableTopTier() {
-		c.addSite(d, true, rn)
+	// Derive every site's fork sequentially — Fork consumes parent state,
+	// so this order is part of the deterministic stream — then sample the
+	// per-site traits in parallel from the private forks.
+	type pendingSite struct {
+		domain string
+		top5k  bool
+		rn     *stats.Rand
 	}
-	c.top5k = len(c.sites)
+	var pendingSites []pendingSite
+	for _, d := range model.StableTopTier() {
+		pendingSites = append(pendingSites, pendingSite{d, true, rn.Fork("site-" + d)})
+	}
+	c.top5k = len(pendingSites)
 	sort.Strings(robotsOthers)
 	for _, d := range robotsOthers {
-		c.addSite(d, false, rn)
+		pendingSites = append(pendingSites, pendingSite{d, false, rn.Fork("site-" + d)})
+	}
+	c.sites = make([]*Site, len(pendingSites))
+	if err := par.Do(ctx, cfg.Workers, len(pendingSites), func(start, end int) {
+		for i := start; i < end; i++ {
+			p := pendingSites[i]
+			c.sites[i] = &Site{
+				Domain:        p.domain,
+				Top5k:         p.top5k,
+				wildcardFull:  p.rn.Bool(wildcardFullProb),
+				hasMistake:    p.rn.Bool(mistakeProb),
+				hasSitemap:    p.rn.Bool(0.55),
+				hasCrawlDelay: p.rn.Bool(crawlDelayProb),
+				genericGroups: p.rn.Intn(3),
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for _, s := range c.sites {
+		c.byDomain[s.Domain] = s
 	}
 
 	c.buildPinnedEvents(rn.Fork("pinned"))
-	c.buildOrganicEvents(rn.Fork("organic"))
+	if err := c.buildOrganicEvents(ctx, rn.Fork("organic"), cfg.Workers); err != nil {
+		return nil, err
+	}
 	c.buildBackgroundAllows(rn.Fork("bg-allow"))
-	for _, s := range c.sites {
-		sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Snap < s.Events[j].Snap })
+	if err := par.Do(ctx, cfg.Workers, len(c.sites), func(start, end int) {
+		for _, s := range c.sites[start:end] {
+			sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Snap < s.Events[j].Snap })
+		}
+	}); err != nil {
+		return nil, err
 	}
 	return c, nil
-}
-
-func (c *Corpus) addSite(domain string, top5k bool, rn *stats.Rand) {
-	sr := rn.Fork("site-" + domain)
-	s := &Site{
-		Domain:        domain,
-		Top5k:         top5k,
-		wildcardFull:  sr.Bool(wildcardFullProb),
-		hasMistake:    sr.Bool(mistakeProb),
-		hasSitemap:    sr.Bool(0.55),
-		hasCrawlDelay: sr.Bool(crawlDelayProb),
-		genericGroups: sr.Intn(3),
-	}
-	c.sites = append(c.sites, s)
-	c.byDomain[domain] = s
 }
 
 // buildPinnedEvents replays the documented histories: licensing-deal
@@ -356,78 +390,94 @@ func (c *Corpus) buildPinnedEvents(rn *stats.Rand) {
 }
 
 // buildOrganicEvents draws each unpinned site's adoption trajectory from
-// the calibrated hazard curves.
-func (c *Corpus) buildOrganicEvents(rn *stats.Rand) {
+// the calibrated hazard curves. Forks are derived sequentially (the
+// parent stream is order-sensitive); the draws themselves run on the
+// bounded pool, each site writing only its own event slice.
+func (c *Corpus) buildOrganicEvents(ctx context.Context, rn *stats.Rand, workers int) error {
 	pinned := make(map[string]bool)
 	for _, d := range PinnedDomains() {
 		pinned[d] = true
 	}
+	type organicSite struct {
+		site *Site
+		rn   *stats.Rand
+	}
+	var work []organicSite
 	for _, s := range c.sites {
 		if pinned[s.Domain] {
 			continue
 		}
-		sr := rn.Fork(s.Domain)
-		curve := adoptionOther
-		if s.Top5k {
-			curve = adoptionTop5k
+		work = append(work, organicSite{s, rn.Fork(s.Domain)})
+	}
+	return par.Do(ctx, workers, len(work), func(start, end int) {
+		for _, w := range work[start:end] {
+			c.buildSiteOrganicEvents(w.site, w.rn)
 		}
-		u := sr.Float64()
-		adoptAt := -1
-		for k, target := range curve {
-			if u < target {
-				adoptAt = k
-				break
+	})
+}
+
+// buildSiteOrganicEvents draws one site's trajectory from its own fork.
+func (c *Corpus) buildSiteOrganicEvents(s *Site, sr *stats.Rand) {
+	curve := adoptionOther
+	if s.Top5k {
+		curve = adoptionTop5k
+	}
+	u := sr.Float64()
+	adoptAt := -1
+	for k, target := range curve {
+		if u < target {
+			adoptAt = k
+			break
+		}
+	}
+	if adoptAt < 0 {
+		return
+	}
+	full := sr.Bool(fullShare)
+	chosen := c.pickAgents(sr, adoptAt, 1.0)
+	s.Events = append(s.Events, Event{
+		Snap: adoptAt, Kind: EventAddRestriction, Agents: chosen, Full: full,
+	})
+	have := make(map[string]bool, len(chosen))
+	for _, a := range chosen {
+		have[a] = true
+	}
+	removed := false
+	for k := adoptAt + 1; k < len(Snapshots) && !removed; k++ {
+		// Background removals (licensing deals we can't see, policy
+		// reversals): stronger in the top tier late in the window,
+		// reproducing Figure 2's level-off and dip.
+		if k >= removalStartIdx {
+			p := removalProbOther
+			if s.Top5k && k >= top5kRemovalIdx {
+				p = removalProbTop5k
 			}
-		}
-		if adoptAt < 0 {
-			continue
-		}
-		full := sr.Bool(fullShare)
-		chosen := c.pickAgents(sr, adoptAt, 1.0)
-		s.Events = append(s.Events, Event{
-			Snap: adoptAt, Kind: EventAddRestriction, Agents: chosen, Full: full,
-		})
-		have := make(map[string]bool, len(chosen))
-		for _, a := range chosen {
-			have[a] = true
-		}
-		removed := false
-		for k := adoptAt + 1; k < len(Snapshots) && !removed; k++ {
-			// Background removals (licensing deals we can't see, policy
-			// reversals): stronger in the top tier late in the window,
-			// reproducing Figure 2's level-off and dip.
-			if k >= removalStartIdx {
-				p := removalProbOther
-				if s.Top5k && k >= top5kRemovalIdx {
-					p = removalProbTop5k
-				}
-				if sr.Bool(p) {
-					s.Events = append(s.Events, Event{Snap: k, Kind: EventRemoveRestriction})
-					removed = true
-					continue
-				}
-			}
-			// List updates: adopters add newly announced agents over time,
-			// more eagerly after the EU AI Act draft.
-			up := updateProb
-			if k >= EUAIActIndex {
-				up *= euActUpdateBoost
-			}
-			if !sr.Bool(up) {
+			if sr.Bool(p) {
+				s.Events = append(s.Events, Event{Snap: k, Kind: EventRemoveRestriction})
+				removed = true
 				continue
 			}
-			var added []string
-			for _, extra := range c.pickAgents(sr, k, updateAgentFactor) {
-				if !have[extra] {
-					have[extra] = true
-					added = append(added, extra)
-				}
+		}
+		// List updates: adopters add newly announced agents over time,
+		// more eagerly after the EU AI Act draft.
+		up := updateProb
+		if k >= EUAIActIndex {
+			up *= euActUpdateBoost
+		}
+		if !sr.Bool(up) {
+			continue
+		}
+		var added []string
+		for _, extra := range c.pickAgents(sr, k, updateAgentFactor) {
+			if !have[extra] {
+				have[extra] = true
+				added = append(added, extra)
 			}
-			if len(added) > 0 {
-				s.Events = append(s.Events, Event{
-					Snap: k, Kind: EventAddRestriction, Agents: added, Full: full,
-				})
-			}
+		}
+		if len(added) > 0 {
+			s.Events = append(s.Events, Event{
+				Snap: k, Kind: EventAddRestriction, Agents: added, Full: full,
+			})
 		}
 	}
 }

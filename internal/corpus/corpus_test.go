@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,11 +10,51 @@ import (
 
 func testCorpus(t *testing.T) *Corpus {
 	t.Helper()
-	c, err := New(Config{Seed: 11, Scale: 0.05})
+	c, err := New(context.Background(), Config{Seed: 11, Scale: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return c
+}
+
+// TestParallelGenerationIdentical locks down the engine guarantee that a
+// corpus is bit-identical for every worker count: all randomness comes
+// from per-site forks derived in a fixed sequential order.
+func TestParallelGenerationIdentical(t *testing.T) {
+	ctx := context.Background()
+	base, err := New(ctx, Config{Seed: 11, Scale: 0.05, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		c, err := New(ctx, Config{Seed: 11, Scale: 0.05, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Sites()) != len(base.Sites()) {
+			t.Fatalf("workers=%d: %d sites, want %d", workers, len(c.Sites()), len(base.Sites()))
+		}
+		last := len(Snapshots) - 1
+		for i, s := range c.Sites() {
+			b := base.Sites()[i]
+			if s.Domain != b.Domain || s.Top5k != b.Top5k {
+				t.Fatalf("workers=%d: site %d = %s/%v, want %s/%v",
+					workers, i, s.Domain, s.Top5k, b.Domain, b.Top5k)
+			}
+			if got, want := c.RobotsBody(s, last), base.RobotsBody(b, last); got != want {
+				t.Fatalf("workers=%d: %s robots.txt diverges:\n%s\n--- want ---\n%s",
+					workers, s.Domain, got, want)
+			}
+		}
+	}
+}
+
+func TestGenerationCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(ctx, Config{Seed: 11, Scale: 0.05}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }
 
 func TestSnapshotTable(t *testing.T) {
@@ -310,7 +351,7 @@ func TestScaledPopulations(t *testing.T) {
 }
 
 func TestInvalidScale(t *testing.T) {
-	if _, err := New(Config{Seed: 1, Scale: -1}); err == nil {
+	if _, err := New(context.Background(), Config{Seed: 1, Scale: -1}); err == nil {
 		t.Fatal("negative scale must be rejected")
 	}
 }

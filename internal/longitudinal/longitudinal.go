@@ -12,11 +12,15 @@
 package longitudinal
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/agents"
 	"repro/internal/corpus"
+	"repro/internal/par"
 	"repro/internal/robots"
 	"repro/internal/stats"
 )
@@ -82,8 +86,134 @@ type summary struct {
 	crawlDelay bool
 }
 
-// Analyze runs every §3 analysis over the corpus.
-func Analyze(c *corpus.Corpus) (*Result, error) {
+// siteCounts is one shard's accumulator. Every field merges with a
+// commutative, associative operation (integer sums, set union, row
+// append followed by a total sort), so the merged result is identical
+// for any sharding and any worker count.
+type siteCounts struct {
+	fullCountTop   []int
+	fullCountOther []int
+	restrictCount  map[string][]int
+	allowedCount   []int
+	removedCount   []int
+	gptRemovals    map[string]bool
+	mistakes       int
+	wildcards      int
+	crawlDelays    int
+	table4         []AllowRow
+}
+
+func newSiteCounts(nSnaps int) *siteCounts {
+	sc := &siteCounts{
+		fullCountTop:   make([]int, nSnaps),
+		fullCountOther: make([]int, nSnaps),
+		restrictCount:  make(map[string][]int, len(agents.Figure3Agents)),
+		allowedCount:   make([]int, nSnaps),
+		removedCount:   make([]int, nSnaps),
+		gptRemovals:    make(map[string]bool),
+	}
+	for _, ua := range agents.Figure3Agents {
+		sc.restrictCount[ua] = make([]int, nSnaps)
+	}
+	return sc
+}
+
+func (sc *siteCounts) merge(o *siteCounts) {
+	for k := range o.fullCountTop {
+		sc.fullCountTop[k] += o.fullCountTop[k]
+		sc.fullCountOther[k] += o.fullCountOther[k]
+		sc.allowedCount[k] += o.allowedCount[k]
+		sc.removedCount[k] += o.removedCount[k]
+	}
+	for ua, counts := range o.restrictCount {
+		dst := sc.restrictCount[ua]
+		for k, v := range counts {
+			dst[k] += v
+		}
+	}
+	for d := range o.gptRemovals {
+		sc.gptRemovals[d] = true
+	}
+	sc.mistakes += o.mistakes
+	sc.wildcards += o.wildcards
+	sc.crawlDelays += o.crawlDelays
+	sc.table4 = append(sc.table4, o.table4...)
+}
+
+// accumulateSite folds one site's snapshot timeline into the accumulator.
+func accumulateSite(c *corpus.Corpus, site *corpus.Site, table1Tokens map[string]string, sc *siteCounts) {
+	nSnaps := len(corpus.Snapshots)
+	var prevBody string
+	var sum summary
+	var prev summary
+	for k := 0; k < nSnaps; k++ {
+		body := c.RobotsBody(site, k)
+		if k == 0 || body != prevBody {
+			sum = summarize(body, table1Tokens)
+		}
+		prevBody = body
+
+		if len(sum.full) > 0 {
+			if site.Top5k {
+				sc.fullCountTop[k]++
+			} else {
+				sc.fullCountOther[k]++
+			}
+		}
+		for _, ua := range agents.Figure3Agents {
+			if sum.restrict[ua] {
+				sc.restrictCount[ua][k]++
+			}
+		}
+		if len(sum.allowed) > 0 {
+			sc.allowedCount[k]++
+		}
+		if k > 0 {
+			removed := false
+			for ua := range prev.restrict {
+				if !sum.restrict[ua] {
+					removed = true
+					if ua == "GPTBot" && k >= corpus.GPTBotAnnouncedIndex {
+						sc.gptRemovals[site.Domain] = true
+					}
+				}
+			}
+			if removed {
+				sc.removedCount[k]++
+			}
+		}
+		if k == nSnaps-1 {
+			if sum.mistake {
+				sc.mistakes++
+			}
+			if sum.wildcard {
+				sc.wildcards++
+			}
+			if sum.crawlDelay {
+				sc.crawlDelays++
+			}
+			if sum.allowed["GPTBot"] {
+				// First-seen scan for Table 4.
+				first := firstAllowSnapshot(c, site, table1Tokens)
+				sc.table4 = append(sc.table4, AllowRow{
+					Domain:    site.Domain,
+					FirstSeen: corpus.Snapshots[first].ID,
+				})
+			}
+		}
+		prev = sum
+	}
+}
+
+// Analyze runs every §3 analysis over the corpus. The per-site pass —
+// rendering and parsing every robots.txt snapshot — is the hot loop of
+// the whole reproduction; it runs sharded on a workers-bounded pool
+// (0 = GOMAXPROCS) with cancellation checked between shards, and its
+// output is identical for every worker count.
+func Analyze(ctx context.Context, c *corpus.Corpus, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	nSnaps := len(corpus.Snapshots)
 	sites := c.Sites()
 	if len(sites) == 0 {
@@ -101,79 +231,27 @@ func Analyze(c *corpus.Corpus) (*Result, error) {
 		table1Tokens[a.Token()] = a.UserAgent
 	}
 
-	fullCountTop := make([]int, nSnaps)
-	fullCountOther := make([]int, nSnaps)
-	restrictCount := make(map[string][]int, len(agents.Figure3Agents))
-	for _, ua := range agents.Figure3Agents {
-		restrictCount[ua] = make([]int, nSnaps)
-	}
-	allowedCount := make([]int, nSnaps)
-	removedCount := make([]int, nSnaps)
-	gptRemovals := make(map[string]bool)
-	mistakes, wildcards, crawlDelays := 0, 0, 0
-
-	for _, site := range sites {
-		var prevBody string
-		var sum summary
-		var prev summary
-		for k := 0; k < nSnaps; k++ {
-			body := c.RobotsBody(site, k)
-			if k == 0 || body != prevBody {
-				sum = summarize(body, table1Tokens)
-			}
-			prevBody = body
-
-			if len(sum.full) > 0 {
-				if site.Top5k {
-					fullCountTop[k]++
-				} else {
-					fullCountOther[k]++
-				}
-			}
-			for _, ua := range agents.Figure3Agents {
-				if sum.restrict[ua] {
-					restrictCount[ua][k]++
-				}
-			}
-			if len(sum.allowed) > 0 {
-				allowedCount[k]++
-			}
-			if k > 0 {
-				removed := false
-				for ua := range prev.restrict {
-					if !sum.restrict[ua] {
-						removed = true
-						if ua == "GPTBot" && k >= corpus.GPTBotAnnouncedIndex {
-							gptRemovals[site.Domain] = true
-						}
-					}
-				}
-				if removed {
-					removedCount[k]++
-				}
-			}
-			if k == nSnaps-1 {
-				if sum.mistake {
-					mistakes++
-				}
-				if sum.wildcard {
-					wildcards++
-				}
-				if sum.crawlDelay {
-					crawlDelays++
-				}
-				if sum.allowed["GPTBot"] {
-					// First-seen scan for Table 4.
-					first := firstAllowSnapshot(c, site, table1Tokens)
-					res.Table4 = append(res.Table4, AllowRow{
-						Domain:    site.Domain,
-						FirstSeen: corpus.Snapshots[first].ID,
-					})
-				}
-			}
-			prev = sum
+	total := newSiteCounts(nSnaps)
+	var mergeMu sync.Mutex
+	if err := par.Do(ctx, workers, len(sites), func(start, end int) {
+		local := newSiteCounts(nSnaps)
+		for _, site := range sites[start:end] {
+			accumulateSite(c, site, table1Tokens, local)
 		}
+		mergeMu.Lock()
+		total.merge(local)
+		mergeMu.Unlock()
+	}); err != nil {
+		return nil, err
 	}
+	fullCountTop := total.fullCountTop
+	fullCountOther := total.fullCountOther
+	restrictCount := total.restrictCount
+	allowedCount := total.allowedCount
+	removedCount := total.removedCount
+	gptRemovals := total.gptRemovals
+	mistakes, wildcards, crawlDelays := total.mistakes, total.wildcards, total.crawlDelays
+	res.Table4 = total.table4
 
 	for k, snap := range corpus.Snapshots {
 		label := snap.Date.Format("Jan 2006")

@@ -1,6 +1,7 @@
 package longitudinal
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/corpus"
@@ -15,16 +16,73 @@ func result(t *testing.T) *Result {
 	if cachedResult != nil {
 		return cachedResult
 	}
-	c, err := corpus.New(corpus.Config{Seed: 23, Scale: 0.15})
+	c, err := corpus.New(context.Background(), corpus.Config{Seed: 23, Scale: 0.15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Analyze(c)
+	res, err := Analyze(context.Background(), c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cachedResult = res
 	return res
+}
+
+// TestAnalyzeParallelIdentical locks down the sharding guarantee: the
+// analysis merges shard-local accumulators with commutative operations,
+// so every worker count produces the same result.
+func TestAnalyzeParallelIdentical(t *testing.T) {
+	ctx := context.Background()
+	c, err := corpus.New(ctx, corpus.Config{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Analyze(ctx, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Analyze(ctx, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.GPTBotRemovals != par.GPTBotRemovals {
+		t.Errorf("GPTBot removals: %d vs %d", seq.GPTBotRemovals, par.GPTBotRemovals)
+	}
+	if seq.MistakeRate != par.MistakeRate || seq.WildcardFullRate != par.WildcardFullRate {
+		t.Error("lint rates diverge between worker counts")
+	}
+	if len(seq.Table4) != len(par.Table4) {
+		t.Fatalf("table 4 rows: %d vs %d", len(seq.Table4), len(par.Table4))
+	}
+	for i := range seq.Table4 {
+		if seq.Table4[i] != par.Table4[i] {
+			t.Fatalf("table 4 row %d: %+v vs %+v", i, seq.Table4[i], par.Table4[i])
+		}
+	}
+	for k := range seq.Fig2Top5k.Points {
+		if seq.Fig2Top5k.Points[k] != par.Fig2Top5k.Points[k] ||
+			seq.Fig2Other.Points[k] != par.Fig2Other.Points[k] {
+			t.Fatalf("figure 2 diverges at snapshot %d", k)
+		}
+		for ua := range seq.Fig3 {
+			if seq.Fig3[ua].Points[k] != par.Fig3[ua].Points[k] {
+				t.Fatalf("figure 3 %s diverges at snapshot %d", ua, k)
+			}
+		}
+	}
+}
+
+func TestAnalyzeCancellation(t *testing.T) {
+	ctx := context.Background()
+	c, err := corpus.New(ctx, corpus.Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := Analyze(cancelled, c, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }
 
 func TestSeriesShapes(t *testing.T) {
@@ -235,11 +293,11 @@ func TestAnalyzeEmptyCorpusFails(t *testing.T) {
 	// A corpus cannot really be empty through the public API, so exercise
 	// the guard through a zero-scale corpus (clamped to >=1 site, so this
 	// checks Analyze succeeds even at minimum size).
-	c, err := corpus.New(corpus.Config{Seed: 3, Scale: 0.0001})
+	c, err := corpus.New(context.Background(), corpus.Config{Seed: 3, Scale: 0.0001})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Analyze(c); err != nil {
+	if _, err := Analyze(context.Background(), c, 0); err != nil {
 		t.Fatalf("minimum corpus must analyze: %v", err)
 	}
 }

@@ -1,0 +1,60 @@
+package par
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 10_000
+		hits := make([]int32, n)
+		err := Do(context.Background(), workers, n, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestDoEmptyRange(t *testing.T) {
+	if err := Do(context.Background(), 4, 0, func(int, int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Do(ctx, 4, 1_000_000, func(start, end int) {
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation is checked between shards, so the pool must stop well
+	// short of claiming every shard.
+	if n := ran.Load(); n > 64 {
+		t.Errorf("ran %d shards after cancellation", n)
+	}
+}
+
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, 1, 10, func(int, int) { t.Fatal("fn called on cancelled ctx") })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -320,9 +320,9 @@ var (
 )
 
 // InferBlockAI runs the Figure 7 flow against one site.
-func InferBlockAI(client *http.Client, siteURL string) (Inference, error) {
+func InferBlockAI(ctx context.Context, client *http.Client, siteURL string) (Inference, error) {
 	probe := func(token string) (responseKind, error) {
-		req, err := http.NewRequest(http.MethodGet, siteURL, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, siteURL, nil)
 		if err != nil {
 			return kindOther, err
 		}
@@ -477,8 +477,9 @@ func (r *CFSurveyResult) OnRate() float64 {
 }
 
 // RunInferenceSurvey hosts n proxied sites and classifies each with the
-// Figure 7 flow, then measures the robots.txt correlation.
-func RunInferenceSurvey(n int, seed int64, workers int) (*CFSurveyResult, error) {
+// Figure 7 flow, then measures the robots.txt correlation. Probes run on
+// a workers-bounded pool; cancellation is honored between sites.
+func RunInferenceSurvey(ctx context.Context, n int, seed int64, workers int) (*CFSurveyResult, error) {
 	if workers <= 0 {
 		workers = 32
 	}
@@ -492,7 +493,12 @@ func RunInferenceSurvey(n int, seed int64, workers int) (*CFSurveyResult, error)
 	}()
 	aiRobots := "User-agent: GPTBot\nUser-agent: anthropic-ai\nUser-agent: ClaudeBot\nDisallow: /\n"
 	plainRobots := "User-agent: *\nDisallow: /admin/\n"
-	for _, spec := range specs {
+	for i, spec := range specs {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		robotsTxt := plainRobots
 		if spec.RobotsDisallowsAI {
 			robotsTxt = aiRobots
@@ -522,7 +528,10 @@ func RunInferenceSurvey(n int, seed int64, workers int) (*CFSurveyResult, error)
 			defer wg.Done()
 			client := nw.HTTPClient("198.51.100.240")
 			for i := range jobs {
-				inf, err := InferBlockAI(client, "http://"+specs[i].Domain+"/")
+				if ctx.Err() != nil {
+					continue // drain remaining jobs after cancellation
+				}
+				inf, err := InferBlockAI(ctx, client, "http://"+specs[i].Domain+"/")
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -540,6 +549,9 @@ func RunInferenceSurvey(n int, seed int64, workers int) (*CFSurveyResult, error)
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

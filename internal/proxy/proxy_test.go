@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -175,7 +176,7 @@ func TestInferBlockAIFlow(t *testing.T) {
 		domain := "inf" + string(rune('a'+i)) + ".test"
 		ip := "203.0.115." + itoa(10+i)
 		site, _ := startProxied(t, nw, domain, ip, tc.s)
-		got, err := InferBlockAI(client, site.URL()+"/")
+		got, err := InferBlockAI(context.Background(), client, site.URL()+"/")
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -226,7 +227,7 @@ func TestGenerateCFPopulation(t *testing.T) {
 
 func TestRunInferenceSurvey(t *testing.T) {
 	n := 600
-	res, err := RunInferenceSurvey(n, 4, 16)
+	res, err := RunInferenceSurvey(context.Background(), n, 4, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
