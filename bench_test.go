@@ -28,6 +28,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/proxy"
 	"repro/internal/robots"
+	"repro/internal/scenario"
 	"repro/internal/survey"
 	"repro/internal/webserver"
 )
@@ -222,7 +223,7 @@ func BenchmarkFigure4AllowRemoval(b *testing.B) {
 func BenchmarkTable1Respect(b *testing.B) {
 	var respected int
 	for i := 0; i < b.N; i++ {
-		res, err := measure.RunPassive(benchSeed)
+		res, err := measure.RunPassive(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func BenchmarkTable1Respect(b *testing.B) {
 func BenchmarkActiveAssistants(b *testing.B) {
 	var distinct int
 	for i := 0; i < b.N; i++ {
-		res, err := measure.RunActive(benchSeed, 60)
+		res, err := measure.RunActive(context.Background(), benchSeed, 60)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -514,6 +515,27 @@ func BenchmarkAblationCorpusScale(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkScenarioEngine runs the observed-world counterfactual
+// simulation end to end — per-site discrete-event loops, real HTTP crawl
+// waves, log-window analysis — across worker counts. Output is
+// bit-identical at every setting; the spread is pure scheduling.
+func BenchmarkScenarioEngine(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			var visits int
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.Run(context.Background(),
+					scenario.Observed(benchSeed, 32, 24), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				visits = res.TotalVisits
+			}
+			b.ReportMetric(float64(visits), "crawl_visits")
 		})
 	}
 }

@@ -8,12 +8,18 @@
 //	crawlsim            # passive study + Table 1 report
 //	crawlsim -active    # also run the assistant-crawler active study
 //	crawlsim -apps 200  # number of GPT apps to trigger
+//	crawlsim -timeout 30s
+//
+// Interrupting the process (SIGINT) or exceeding -timeout cancels the
+// studies cleanly between crawl waves.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"repro/internal/measure"
@@ -22,13 +28,22 @@ import (
 
 func main() {
 	var (
-		active = flag.Bool("active", false, "also run the §5.2.2 active assistant study")
-		apps   = flag.Int("apps", 120, "GPT apps to exercise in the active study")
-		seed   = flag.Int64("seed", stats.DefaultSeed, "random seed")
+		active  = flag.Bool("active", false, "also run the §5.2.2 active assistant study")
+		apps    = flag.Int("apps", 120, "GPT apps to exercise in the active study")
+		seed    = flag.Int64("seed", stats.DefaultSeed, "random seed")
+		timeout = flag.Duration("timeout", 0, "abort the studies after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	passive, err := measure.RunPassive(*seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	passive, err := measure.RunPassive(ctx, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crawlsim: passive study: %v\n", err)
 		os.Exit(1)
@@ -57,7 +72,7 @@ func main() {
 	if !*active {
 		return
 	}
-	res, err := measure.RunActive(*seed, *apps)
+	res, err := measure.RunActive(ctx, *seed, *apps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crawlsim: active study: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListBuiltins(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-list"}); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"baseline-replay", "rogue-crawler", "high-adoption"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSmokeSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-spec", "testdata/smoke.json", "-workers", "4"}); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"scenario ci-smoke", "crawler verdicts", "Scrapezilla"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBuiltinJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(&out, &errb, []string{"-builtin", "baseline-replay", "-format", "json"})
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var res struct {
+		Verdicts map[string]int
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if len(res.Verdicts) != 9 {
+		t.Fatalf("baseline observed %d crawlers, want 9", len(res.Verdicts))
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-spec", "x.json", "-builtin", "baseline-replay"},
+		{"-builtin", "no-such-world"},
+		{"-spec", "testdata/does-not-exist.json"},
+		{"-builtin", "baseline-replay", "-format", "yaml"},
+		{"-builtin", "baseline-replay", "-sites", "-3"},
+		// Shrinking the window below the rogue's arrival month must fail
+		// loudly instead of silently simulating a rogue-free world.
+		{"-builtin", "rogue-crawler", "-months", "10"},
+		{"-dump", "no-such-world"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(&out, &errb, args); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}
+
+func TestDumpBuiltin(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-dump", "high-adoption"}); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !json.Valid(out.Bytes()) || !strings.Contains(out.String(), "\"multiplier\": 4") {
+		t.Fatalf("dump output wrong:\n%s", out.String())
+	}
+}

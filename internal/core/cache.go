@@ -10,6 +10,7 @@ import (
 	"repro/internal/longitudinal"
 	"repro/internal/measure"
 	"repro/internal/proxy"
+	"repro/internal/scenario"
 	"repro/internal/survey"
 )
 
@@ -149,22 +150,28 @@ func (e *Env) InferenceSurvey(ctx context.Context) (*proxy.CFSurveyResult, error
 	})
 }
 
+// Scenario returns the result of one counterfactual simulation, memoized
+// by the spec's full identity: re-running or re-rendering an experiment
+// within one engine run never repeats a simulation. Each scenario
+// experiment currently declares distinct worlds, so distinct experiments
+// do not share runs.
+func (e *Env) Scenario(ctx context.Context, spec scenario.Spec) (*scenario.Result, error) {
+	key := "scenario/" + spec.CacheKey()
+	return memo(e, key, func() (*scenario.Result, error) {
+		return scenario.Run(ctx, spec, e.Config.EffectiveWorkers())
+	})
+}
+
 // PassiveMeasurement returns the shared §5 passive study result.
 func (e *Env) PassiveMeasurement(ctx context.Context) (*measure.PassiveResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	return memo(e, fmt.Sprintf("passive/%d", e.Config.Seed), func() (*measure.PassiveResult, error) {
-		return measure.RunPassive(e.Config.Seed)
+		return measure.RunPassive(ctx, e.Config.Seed)
 	})
 }
 
 // ActiveMeasurement returns the shared §5.2.2 active study result.
 func (e *Env) ActiveMeasurement(ctx context.Context) (*measure.ActiveResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	return memo(e, fmt.Sprintf("active/%d/%d", e.Config.Seed, e.Config.Apps), func() (*measure.ActiveResult, error) {
-		return measure.RunActive(e.Config.Seed, e.Config.Apps)
+		return measure.RunActive(ctx, e.Config.Seed, e.Config.Apps)
 	})
 }

@@ -14,6 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 		"noai-meta", "active-assistants", "active-blocking",
 		"cloudflare-greybox", "figure7", "robots-lint",
 		"ablation-parsers", "ablation-detector", "maintenance-gap",
+		"scenario-baseline", "scenario-adoption", "scenario-rogue",
+		"scenario-manager",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -156,6 +156,19 @@ var agentWeight = map[string]float64{
 	"YouBot":             0.05,
 }
 
+// AdoptionCurve returns a copy of the calibrated cumulative adoption
+// fractions for the given tier, indexed by snapshot (see Snapshots for
+// the dates). The scenario engine resamples these onto its monthly
+// virtual clock so counterfactual worlds share the observed world's
+// policy-adoption distribution.
+func AdoptionCurve(top5k bool) []float64 {
+	src := adoptionOther
+	if top5k {
+		src = adoptionTop5k
+	}
+	return append([]float64(nil), src...)
+}
+
 const (
 	fullShare          = 0.85  // adopters that fully (vs partially) disallow
 	updateProb         = 0.22  // chance an adopter revisits its list per snapshot

@@ -105,8 +105,9 @@ var passiveVisitors = []struct {
 }
 
 // RunPassive stands up both measurement sites, lets the fleet visit, and
-// classifies every observed crawler from the combined server logs.
-func RunPassive(seed int64) (*PassiveResult, error) {
+// classifies every observed crawler from the combined server logs. It
+// honors ctx cancellation between crawl waves.
+func RunPassive(ctx context.Context, seed int64) (*PassiveResult, error) {
 	nw := netsim.New()
 	wild, err := webserver.Start(nw, webserver.WildcardDisallowSite("site-a.test", "203.0.113.50"))
 	if err != nil {
@@ -120,8 +121,10 @@ func RunPassive(seed int64) (*PassiveResult, error) {
 	}
 	defer perAgent.Close()
 
-	ctx := context.Background()
 	for _, visitor := range passiveVisitors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, ok := agents.ByToken(visitor.token)
 		if !ok {
 			return nil, fmt.Errorf("measure: unknown visitor %s", visitor.token)
@@ -157,7 +160,7 @@ func RunPassive(seed int64) (*PassiveResult, error) {
 
 	log := append(wild.Log(), perAgent.Log()...)
 	res := &PassiveResult{
-		Verdicts:   classify(log),
+		Verdicts:   Classify(log),
 		IPVerified: make(map[string]bool),
 	}
 	for tok := range res.Verdicts {
@@ -165,7 +168,7 @@ func RunPassive(seed int64) (*PassiveResult, error) {
 		if a, ok := agents.ByToken(tok); ok && a.IPPrefix != "" {
 			verified := true
 			for _, rec := range log {
-				if extractToken(rec.UserAgent) == tok &&
+				if ProductToken(rec.UserAgent) == tok &&
 					!strings.HasPrefix(rec.RemoteIP, a.IPPrefix+".") {
 					verified = false
 				}
@@ -177,56 +180,84 @@ func RunPassive(seed int64) (*PassiveResult, error) {
 	return res, nil
 }
 
-// classify derives a verdict per product token from server log records.
+// Evidence tallies the robots.txt-relevant requests one product token
+// made against a site whose policy restricts it. It is the unit the
+// verdict classification consumes; counts from disjoint log windows (or
+// disjoint sites) merge by addition, so fleet-scale simulations can
+// shard log analysis and still classify exactly as the paper does.
+type Evidence struct {
+	// RobotsOK counts proper /robots.txt requests.
+	RobotsOK int
+	// RobotsBroken counts malformed robots-like requests (BuggyFetch).
+	RobotsBroken int
+	// Content counts content fetches the policy did not permit.
+	Content int
+}
+
+// Merge returns the combined evidence of two disjoint observations.
+func (e Evidence) Merge(o Evidence) Evidence {
+	return Evidence{
+		RobotsOK:     e.RobotsOK + o.RobotsOK,
+		RobotsBroken: e.RobotsBroken + o.RobotsBroken,
+		Content:      e.Content + o.Content,
+	}
+}
+
+// Observed reports whether the token appeared in the logs at all.
+func (e Evidence) Observed() bool {
+	return e.RobotsOK > 0 || e.RobotsBroken > 0 || e.Content > 0
+}
+
+// ClassifyEvidence folds accumulated evidence into the paper's Table 1
+// verdict classes (§5.2.1).
+func ClassifyEvidence(ev Evidence) Verdict {
+	switch {
+	case ev.RobotsBroken > 0 && ev.Content > 0:
+		return BuggyRobotsFetch
+	case ev.RobotsOK > 0 && ev.Content == 0:
+		return Respected
+	case ev.RobotsOK > 0 && ev.Content > 0:
+		return FetchedIgnored
+	case ev.Content == 1:
+		return Anomalous
+	case ev.Content > 1:
+		return NotFetched
+	default:
+		return NotObserved
+	}
+}
+
+// Classify derives a verdict per product token from server log records.
 // Both measurement sites disallow every AI agent, so any content fetch is
 // a violation.
-func classify(log []webserver.Record) map[string]Verdict {
-	type evidence struct {
-		robotsOK     int // proper /robots.txt requests
-		robotsBroken int // malformed robots-like requests
-		content      int
-	}
-	byToken := make(map[string]*evidence)
+func Classify(log []webserver.Record) map[string]Verdict {
+	byToken := make(map[string]Evidence)
 	for _, rec := range log {
-		tok := extractToken(rec.UserAgent)
+		tok := ProductToken(rec.UserAgent)
 		if tok == "" {
 			continue
 		}
 		ev := byToken[tok]
-		if ev == nil {
-			ev = &evidence{}
-			byToken[tok] = ev
-		}
 		switch {
 		case rec.Path == "/robots.txt":
-			ev.robotsOK++
+			ev.RobotsOK++
 		case strings.HasPrefix(rec.Path, "/robots.txt"):
-			ev.robotsBroken++
+			ev.RobotsBroken++
 		default:
-			ev.content++
+			ev.Content++
 		}
+		byToken[tok] = ev
 	}
 	out := make(map[string]Verdict, len(byToken))
 	for tok, ev := range byToken {
-		switch {
-		case ev.robotsBroken > 0 && ev.content > 0:
-			out[tok] = BuggyRobotsFetch
-		case ev.robotsOK > 0 && ev.content == 0:
-			out[tok] = Respected
-		case ev.robotsOK > 0 && ev.content > 0:
-			out[tok] = FetchedIgnored
-		case ev.content == 1:
-			out[tok] = Anomalous
-		case ev.content > 1:
-			out[tok] = NotFetched
-		default:
-			out[tok] = NotObserved
-		}
+		out[tok] = ClassifyEvidence(ev)
 	}
 	return out
 }
 
-func extractToken(ua string) string {
+// ProductToken extracts the robots.txt product token from a full
+// User-Agent header.
+func ProductToken(ua string) string {
 	// Full UAs look like "Mozilla/5.0 …; compatible; GPTBot/1.1"; take the
 	// last token-ish segment.
 	if i := strings.LastIndex(ua, "; "); i >= 0 {
@@ -320,8 +351,9 @@ type ActiveResult struct {
 
 // RunActive triggers the built-in assistants and a population of GPT apps
 // whose backends are the 23 third-party crawlers, then classifies
-// everything from server logs and merges apps into distinct crawlers.
-func RunActive(seed int64, nApps int) (*ActiveResult, error) {
+// everything from server logs and merges apps into distinct crawlers. It
+// honors ctx cancellation between trigger waves.
+func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error) {
 	if nApps <= 0 {
 		nApps = 120
 	}
@@ -331,7 +363,6 @@ func RunActive(seed int64, nApps int) (*ActiveResult, error) {
 		return nil, err
 	}
 	defer site.Close()
-	ctx := context.Background()
 	res := &ActiveResult{
 		BuiltinVerdicts:    make(map[string]Verdict),
 		ThirdPartyVerdicts: make(map[string]Verdict),
@@ -349,6 +380,9 @@ func RunActive(seed int64, nApps int) (*ActiveResult, error) {
 		{"Meta (Meta-ExternalAgent)", "Meta-ExternalAgent", "26.0.1.21"},
 	}
 	for _, b := range builtins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cr, err := crawler.New(nw, crawler.Profile{
 			Token: b.token, SourceIP: b.ip, Behavior: crawler.Compliant,
 		})
@@ -359,7 +393,7 @@ func RunActive(seed int64, nApps int) (*ActiveResult, error) {
 		if _, _, err := cr.FetchOne(ctx, site.URL()+"/about.html"); err != nil {
 			return nil, err
 		}
-		verdicts := classify(site.Log()[before:])
+		verdicts := Classify(site.Log()[before:])
 		res.BuiltinVerdicts[b.name] = verdicts[b.token]
 	}
 
@@ -384,6 +418,9 @@ func RunActive(seed int64, nApps int) (*ActiveResult, error) {
 		}
 	}
 	for i := 0; i < nApps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tp := third[i%len(third)]
 		pool := crawlers[tp.Backend]
 		cr := pool[rn.Intn(len(pool))]
@@ -406,6 +443,9 @@ func RunActive(seed int64, nApps int) (*ActiveResult, error) {
 	// how the paper distinguishes "did not fetch robots.txt most of the
 	// time" from outright non-fetchers.
 	for _, tp := range third {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		probe, err := webserver.Start(nw, webserver.WildcardDisallowSite(
 			"probe-"+tp.Backend, probeIP(tp)))
 		if err != nil {

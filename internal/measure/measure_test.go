@@ -1,6 +1,8 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/agents"
@@ -8,7 +10,7 @@ import (
 )
 
 func TestPassiveStudy(t *testing.T) {
-	res, err := RunPassive(7)
+	res, err := RunPassive(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func TestPassiveStudy(t *testing.T) {
 }
 
 func TestTable1Rows(t *testing.T) {
-	res, err := RunPassive(7)
+	res, err := RunPassive(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestTable1Rows(t *testing.T) {
 }
 
 func TestActiveStudy(t *testing.T) {
-	res, err := RunActive(7, 60)
+	res, err := RunActive(context.Background(), 7, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,6 +116,45 @@ func TestActiveStudy(t *testing.T) {
 	}
 	if res.Summary[NotFetched] != 20 {
 		t.Errorf("no-fetch = %d, want 20", res.Summary[NotFetched])
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPassive(ctx, 7); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunPassive on canceled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := RunActive(ctx, 7, 10); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunActive on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvidenceMergeAndClassify(t *testing.T) {
+	a := Evidence{RobotsOK: 1}
+	b := Evidence{Content: 2}
+	m := a.Merge(b)
+	if m.RobotsOK != 1 || m.Content != 2 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if !m.Observed() || (Evidence{}).Observed() {
+		t.Fatal("Observed misreports")
+	}
+	cases := []struct {
+		ev   Evidence
+		want Verdict
+	}{
+		{Evidence{RobotsOK: 2}, Respected},
+		{Evidence{RobotsOK: 1, Content: 3}, FetchedIgnored},
+		{Evidence{RobotsBroken: 1, Content: 3}, BuggyRobotsFetch},
+		{Evidence{Content: 1}, Anomalous},
+		{Evidence{Content: 5}, NotFetched},
+		{Evidence{}, NotObserved},
+	}
+	for i, tc := range cases {
+		if got := ClassifyEvidence(tc.ev); got != tc.want {
+			t.Errorf("case %d = %v, want %v", i, got, tc.want)
+		}
 	}
 }
 

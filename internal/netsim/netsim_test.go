@@ -212,6 +212,96 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestManyConcurrentDialsAndListens hammers one network with listeners
+// binding, accepting, and closing while many clients dial — the access
+// pattern the scenario engine's parallel site simulations produce. Run
+// with -race; the assertions are that nothing deadlocks and every dial
+// either succeeds or fails with a refusal.
+func TestManyConcurrentDialsAndListens(t *testing.T) {
+	nw := New()
+	const listeners = 16
+	const dialsPerTarget = 25
+
+	var servers sync.WaitGroup
+	lns := make([]net.Listener, listeners)
+	for i := 0; i < listeners; i++ {
+		ip := fmt.Sprintf("203.0.113.%d", 100+i)
+		ln, err := nw.Listen(ip, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		servers.Add(1)
+		go func(ln net.Listener) {
+			defer servers.Done()
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					io.Copy(io.Discard, c)
+					c.Close()
+				}(c)
+			}
+		}(ln)
+	}
+
+	var clients sync.WaitGroup
+	errs := make(chan error, listeners*dialsPerTarget)
+	for i := 0; i < listeners; i++ {
+		target := fmt.Sprintf("203.0.113.%d:80", 100+i)
+		for j := 0; j < dialsPerTarget; j++ {
+			clients.Add(1)
+			go func(target string, j int) {
+				defer clients.Done()
+				src := fmt.Sprintf("198.51.100.%d", 1+j%200)
+				c, err := nw.Dial(context.Background(), src, target)
+				if err != nil {
+					// Refusals are expected once listeners start closing.
+					if !errors.Is(err, ErrConnRefused) {
+						errs <- err
+					}
+					return
+				}
+				// A dial can land in a backlog that its listener closes
+				// before accepting; pipe writes are synchronous, so bound
+				// the write instead of blocking on a peer that never
+				// reads.
+				c.SetDeadline(time.Now().Add(time.Second))
+				fmt.Fprint(c, "ping")
+				c.Close()
+			}(target, j)
+		}
+	}
+	// Close half the listeners while dials are in flight.
+	for i := 0; i < listeners; i += 2 {
+		go lns[i].Close()
+	}
+
+	done := make(chan struct{})
+	go func() { clients.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent dials deadlocked")
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	servers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("dial: %v", err)
+	}
+	// The network is still serviceable afterwards.
+	ln, err := nw.Listen("203.0.113.99", 80)
+	if err != nil {
+		t.Fatalf("post-stress listen: %v", err)
+	}
+	ln.Close()
+}
+
 func TestResolveLiteralIP(t *testing.T) {
 	nw := New()
 	ip, err := nw.Resolve("192.0.2.99")

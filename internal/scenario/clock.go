@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"container/heap"
+	"context"
+	"time"
+)
+
+// Event priorities: everything scheduled for the same virtual month runs
+// in priority order, ties broken by scheduling sequence, so the timeline
+// is deterministic regardless of how events were enqueued. Policy
+// changes land before the blocking toggle, both land before any crawl
+// traffic, and the month's metrics flush observes the settled state.
+const (
+	prioPolicy = iota
+	prioBlocking
+	prioVisit
+	prioFlush
+)
+
+// clock is the virtual monthly clock of one site simulation.
+type clock struct {
+	start time.Time
+	month int
+}
+
+// date returns the current virtual date.
+func (c *clock) date() time.Time { return c.start.AddDate(0, c.month, 0) }
+
+// eventFn handles one event at its virtual date. Handlers may schedule
+// follow-up events (a crawl wave enqueues the next visit on its
+// cadence).
+type eventFn func(now time.Time) error
+
+type event struct {
+	month int
+	prio  int
+	seq   int
+	fn    eventFn
+}
+
+// eventQueue is a deterministic discrete-event queue ordered by
+// (month, priority, scheduling sequence).
+type eventQueue struct {
+	h   eventHeap
+	seq int
+}
+
+// schedule enqueues fn at the given virtual month and priority. Events
+// scheduled beyond the horizon are dropped by run.
+func (q *eventQueue) schedule(month, prio int, fn eventFn) {
+	q.seq++
+	heap.Push(&q.h, &event{month: month, prio: prio, seq: q.seq, fn: fn})
+}
+
+// run drains the queue in timeline order, advancing clk to each event's
+// month, until the queue is empty or an event falls at or beyond the
+// horizon month. Cancellation is checked between events.
+func (q *eventQueue) run(ctx context.Context, clk *clock, horizon int) error {
+	for q.h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ev := heap.Pop(&q.h).(*event)
+		if ev.month >= horizon {
+			continue
+		}
+		clk.month = ev.month
+		if err := ev.fn(clk.date()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].month != h[j].month {
+		return h[i].month < h[j].month
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

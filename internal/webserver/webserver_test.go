@@ -1,9 +1,11 @@
 package webserver
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/netsim"
@@ -194,6 +196,103 @@ func TestContentPagesInterlinked(t *testing.T) {
 	}
 	if pages["/images/art1.png"].ContentType != "image/png" {
 		t.Fatal("image content type wrong")
+	}
+}
+
+// TestLogOrderingDeterministicPerConnection pins the log contract the
+// scenario engine's monthly windowing relies on: requests issued
+// sequentially by one client append in issue order, and replaying the
+// same sequence on a fresh site yields an identical log (paths, status,
+// bytes).
+func TestLogOrderingDeterministicPerConnection(t *testing.T) {
+	paths := []string{"/robots.txt", "/", "/about.html", "/gallery.html", "/missing", "/robots.txt"}
+	capture := func() []Record {
+		nw := netsim.New()
+		site, err := Start(nw, WildcardDisallowSite("order.test", "203.0.113.7"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer site.Close()
+		client := nw.HTTPClient("198.51.100.40")
+		for _, p := range paths {
+			get(t, client, site.URL()+p, "GPTBot/1.0")
+		}
+		return site.Log()
+	}
+	first := capture()
+	if len(first) != len(paths) {
+		t.Fatalf("logged %d records, want %d", len(first), len(paths))
+	}
+	for i, rec := range first {
+		if rec.Path != paths[i] {
+			t.Fatalf("record %d = %s, want %s (sequential requests must log in order)",
+				i, rec.Path, paths[i])
+		}
+	}
+	second := capture()
+	for i := range first {
+		a, b := first[i], second[i]
+		if a.Path != b.Path || a.Status != b.Status || a.Bytes != b.Bytes ||
+			a.RemoteIP != b.RemoteIP || a.UserAgent != b.UserAgent {
+			t.Fatalf("replay diverged at record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestLogOrderingConcurrentClientsPreserved checks that under concurrent
+// clients each connection's own requests still appear in issue order,
+// even though the interleaving across clients is unspecified.
+func TestLogOrderingConcurrentClientsPreserved(t *testing.T) {
+	nw := netsim.New()
+	site, err := Start(nw, WildcardDisallowSite("interleave.test", "203.0.113.8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	paths := []string{"/robots.txt", "/", "/about.html", "/gallery.html"}
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ip := fmt.Sprintf("198.51.100.%d", 50+c)
+			client := nw.HTTPClient(ip)
+			for _, p := range paths {
+				req, err := http.NewRequest(http.MethodGet, site.URL()+p, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("User-Agent", fmt.Sprintf("TestBot-%d/1.0", c))
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	log := site.Log()
+	if len(log) != clients*len(paths) {
+		t.Fatalf("logged %d records, want %d", len(log), clients*len(paths))
+	}
+	perClient := map[string][]string{}
+	for _, rec := range log {
+		perClient[rec.RemoteIP] = append(perClient[rec.RemoteIP], rec.Path)
+	}
+	if len(perClient) != clients {
+		t.Fatalf("saw %d client IPs, want %d", len(perClient), clients)
+	}
+	for ip, got := range perClient {
+		for i := range paths {
+			if got[i] != paths[i] {
+				t.Fatalf("client %s order %v, want %v", ip, got, paths)
+			}
+		}
 	}
 }
 
