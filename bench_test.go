@@ -541,7 +541,9 @@ func BenchmarkScenarioEngine(b *testing.B) {
 }
 
 // BenchmarkNetsimHTTP measures substrate round-trip cost: one HTTP
-// request over the in-memory network per iteration.
+// request over the in-memory network per iteration, with the body
+// drained the way every crawler and prober in the codebase does (a
+// drained body is what lets the transport pool the connection).
 func BenchmarkNetsimHTTP(b *testing.B) {
 	nw := netsim.New()
 	site, err := webserver.Start(nw, webserver.WildcardDisallowSite("bench.test", "203.0.113.200"))
@@ -556,6 +558,32 @@ func BenchmarkNetsimHTTP(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkNetsimHTTPLegacyDial is the same request loop over the
+// compatibility transport that dials a fresh connection per request —
+// the pre-optimization behaviour — so the pooling win is visible in one
+// bench run.
+func BenchmarkNetsimHTTPLegacyDial(b *testing.B) {
+	netsim.SetLegacyPerRequestDial(true)
+	defer netsim.SetLegacyPerRequestDial(false)
+	nw := netsim.New()
+	site, err := webserver.Start(nw, webserver.WildcardDisallowSite("bench-legacy.test", "203.0.113.202"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.251")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(site.URL() + "/robots.txt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
 }

@@ -1,0 +1,50 @@
+package main
+
+// Benchmarks that exercise APIs introduced together with this tool (the
+// legacy-transport compatibility knob and the shared robots parse
+// cache). They live apart from main.go so the common subset there can be
+// compiled against older revisions when reconstructing a baseline.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/robots"
+	"repro/internal/webserver"
+)
+
+func init() {
+	register("netsim_http_legacy_dial", func(b *testing.B) {
+		netsim.SetLegacyPerRequestDial(true)
+		defer netsim.SetLegacyPerRequestDial(false)
+		nw := netsim.New()
+		site, err := webserver.Start(nw, webserver.WildcardDisallowSite("snap-legacy.test", "203.0.113.212"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer site.Close()
+		client := nw.HTTPClient("198.51.100.211")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(site.URL() + "/robots.txt")
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+
+	register("robots_parse_cached", func(b *testing.B) {
+		body := snapRobotsBody()
+		cache := robots.NewCache(0)
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rb := cache.Parse(body); len(rb.Groups) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Command benchsnap runs a fixed, reduced-scale subset of the repository
+// benchmark suite and writes a JSON snapshot — ns/op, bytes/op,
+// allocs/op and each benchmark's custom metrics — seeding the repo's
+// performance trajectory. CI runs it on every push and uploads the
+// artifact; compare snapshots across commits with the -baseline flag,
+// which embeds a previous snapshot and computes speedups:
+//
+//	go run ./cmd/benchsnap -o BENCH_pr3.json -baseline old.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/blocking"
+	"repro/internal/crawler"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/robots"
+	"repro/internal/scenario"
+	"repro/internal/webserver"
+)
+
+const snapSeed = 20251028
+
+// result is one benchmark's snapshot entry.
+type result struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapshot is the file format.
+type snapshot struct {
+	Schema     string            `json:"schema"`
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]result `json:"benchmarks"`
+	// Baseline is a previous snapshot's benchmark map, embedded verbatim
+	// when -baseline is given, so one file carries the before/after pair.
+	Baseline map[string]result `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is baseline ns/op divided by current ns/op per
+	// benchmark present in both (>1 means faster now).
+	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type entry struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// registry holds the suite in execution order. Entries that exercise
+// APIs introduced alongside this tool register themselves from extra.go;
+// everything in this file runs against any revision of the repo, which
+// is what makes before/after snapshots from the same tool comparable.
+var registry []entry
+
+func register(name string, fn func(b *testing.B)) {
+	registry = append(registry, entry{name: name, fn: fn})
+}
+
+func init() {
+	register("netsim_http", func(b *testing.B) {
+		nw := netsim.New()
+		site, err := webserver.Start(nw, webserver.WildcardDisallowSite("snap.test", "203.0.113.210"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer site.Close()
+		client := nw.HTTPClient("198.51.100.210")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(site.URL() + "/robots.txt")
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+
+	register("crawler_site_crawl", func(b *testing.B) {
+		nw := netsim.New()
+		site, err := webserver.Start(nw, webserver.Config{
+			Domain: "snapcrawl.test", IP: "203.0.113.211",
+			Pages: webserver.ContentPages("snapcrawl.test"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer site.Close()
+		cr, err := crawler.New(nw, crawler.Profile{
+			Token: "GPTBot", SourceIP: "24.0.1.98", Behavior: crawler.Compliant,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cr.Crawl(ctx, site.URL()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	register("robots_parse", func(b *testing.B) {
+		body := snapRobotsBody()
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rb := robots.ParseString(body); len(rb.Groups) == 0 {
+				b.Fatal("no groups")
+			}
+		}
+	})
+
+	register("robots_match", func(b *testing.B) {
+		rb := robots.ParseString(snapRobotsBody())
+		paths := []string{"/", "/gallery/piece.png", "/blog/2024/post?q=1", "/search"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rb.Allowed("GPTBot", paths[i%len(paths)])
+		}
+	})
+
+	register("passive_study", func(b *testing.B) {
+		var respected float64
+		for i := 0; i < b.N; i++ {
+			res, err := measure.RunPassive(context.Background(), snapSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			respected = 0
+			for _, v := range res.Verdicts {
+				if v == measure.Respected {
+					respected++
+				}
+			}
+		}
+		b.ReportMetric(respected, "respecting_crawlers")
+	})
+
+	register("active_blocking_survey", func(b *testing.B) {
+		var blockers float64
+		for i := 0; i < b.N; i++ {
+			res, err := blocking.RunSurvey(context.Background(), 200, snapSeed, 8, blocking.DefaultDetector)
+			if err != nil {
+				b.Fatal(err)
+			}
+			blockers = float64(res.ActiveBlockers)
+		}
+		b.ReportMetric(blockers, "active_blockers")
+	})
+
+	register("scenario_engine", func(b *testing.B) {
+		var visits float64
+		for i := 0; i < b.N; i++ {
+			res, err := scenario.Run(context.Background(),
+				scenario.Observed(snapSeed, 12, 12), 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			visits = float64(res.TotalVisits)
+		}
+		b.ReportMetric(visits, "crawl_visits")
+	})
+}
+
+// snapRobotsBody renders a realistic multi-group robots.txt.
+func snapRobotsBody() string {
+	bld := robots.NewBuilder()
+	bld.Comment("benchsnap file")
+	bld.Group("*").Disallow("/admin/", "/search", "/shop").Allow("/shop/public")
+	bld.Group("GPTBot", "CCBot", "ClaudeBot", "Bytespider", "Google-Extended").Disallow("/images/", "/gallery/")
+	bld.Group("Googlebot").Disallow("/generated/a/", "/generated/b/", "/generated/c/")
+	bld.Sitemap("https://snap.example/sitemap.xml")
+	return bld.String()
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr3.json", "output path for the JSON snapshot")
+	baselinePath := flag.String("baseline", "", "previous snapshot to embed for before/after comparison")
+	benchFilter := flag.String("bench", "", "regexp filtering benchmark names (empty = all)")
+	count := flag.Int("count", 1, "runs per benchmark; the fastest (min ns/op) run is recorded to damp machine noise")
+	flag.Parse()
+	if *count < 1 {
+		*count = 1
+	}
+
+	var filter *regexp.Regexp
+	if *benchFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*benchFilter); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: bad -bench regexp: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	snap := snapshot{
+		Schema:     "repro-benchsnap/1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]result),
+	}
+	for _, e := range registry {
+		if filter != nil && !filter.MatchString(e.name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: running %s...\n", e.name)
+		var res result
+		for run := 0; run < *count; run++ {
+			r := testing.Benchmark(e.fn)
+			cand := result{
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if len(r.Extra) > 0 {
+				cand.Metrics = make(map[string]float64, len(r.Extra))
+				for k, v := range r.Extra {
+					cand.Metrics[k] = v
+				}
+			}
+			if run == 0 || cand.NsPerOp < res.NsPerOp {
+				res = cand
+			}
+		}
+		snap.Benchmarks[e.name] = res
+		fmt.Fprintf(os.Stderr, "benchsnap: %-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			e.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base snapshot
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: parsing baseline: %v\n", err)
+			os.Exit(1)
+		}
+		snap.Baseline = base.Benchmarks
+		snap.SpeedupVsBaseline = make(map[string]float64)
+		for name, cur := range snap.Benchmarks {
+			if b, ok := base.Benchmarks[name]; ok && cur.NsPerOp > 0 {
+				snap.SpeedupVsBaseline[name] = b.NsPerOp / cur.NsPerOp
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+}

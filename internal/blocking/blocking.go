@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/robots"
@@ -434,7 +435,10 @@ func RunSurvey(ctx context.Context, n int, seed int64, workers int, opts Detecto
 	}
 
 	res := &SurveyResult{Probed: len(specs)}
+	// The overlap pass issues requests without a caller context, so give
+	// this client its own overall timeout as the bound.
 	client := nw.HTTPClient("198.51.100.201")
+	client.Timeout = 10 * time.Second
 	for i, v := range verdicts {
 		switch v {
 		case NoInference:
@@ -485,8 +489,10 @@ func robotsRestricts(client *http.Client, domain string) bool {
 	return false
 }
 
-// parseRobots is a tiny indirection for testability.
-func parseRobots(body string) *robots.Robots { return robots.ParseString(body) }
+// parseRobots is a tiny indirection for testability. It parses through
+// the shared content-keyed cache: survey populations reuse a handful of
+// robots.txt templates across thousands of sites.
+func parseRobots(body string) *robots.Robots { return robots.ParseCached(body) }
 
 // LabyrinthBlocker implements the "serve fake content" blocking style
 // (§2.2, Cloudflare's AI Labyrinth [110]): matched crawlers receive

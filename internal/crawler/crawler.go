@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/robots"
@@ -156,7 +157,9 @@ func (c *Crawler) fetchPolicy(ctx context.Context, base *url.URL, robotsPath str
 	if status != http.StatusOK || robotsPath != "/robots.txt" {
 		return nil
 	}
-	policy := robots.ParseString(body)
+	// The fleet sees the same few policies thousands of times; the shared
+	// content-keyed cache parses each distinct body once.
+	policy := robots.ParseCached(body)
 	if c.profile.CacheRobots {
 		c.robotsCache[base.Host] = policy
 	}
@@ -207,6 +210,7 @@ func (c *Crawler) Crawl(ctx context.Context, baseURL string) (*Visit, error) {
 		return policy.Allowed(c.profile.Token, path)
 	}
 
+	sitePrefix := base.Scheme + "://" + base.Host
 	queue := []string{"/"}
 	seen := map[string]bool{"/": true}
 	for len(queue) > 0 && len(v.Fetched) < c.profile.MaxPages {
@@ -216,8 +220,7 @@ func (c *Crawler) Crawl(ctx context.Context, baseURL string) (*Visit, error) {
 			v.Skipped = append(v.Skipped, path)
 			continue
 		}
-		pageURL := base.ResolveReference(&url.URL{Path: path}).String()
-		status, body, err := c.get(ctx, pageURL)
+		status, body, err := c.get(ctx, sitePrefix+path)
 		if err != nil {
 			continue
 		}
@@ -227,17 +230,9 @@ func (c *Crawler) Crawl(ctx context.Context, baseURL string) (*Visit, error) {
 		}
 		v.Fetched = append(v.Fetched, path)
 		for _, link := range ExtractLinks(body) {
-			ref, err := url.Parse(link)
-			if err != nil {
+			p, ok := sameSitePath(link, base, sitePrefix)
+			if !ok {
 				continue
-			}
-			abs := base.ResolveReference(ref)
-			if abs.Host != base.Host {
-				continue
-			}
-			p := abs.Path
-			if p == "" {
-				p = "/"
 			}
 			if !seen[p] {
 				seen[p] = true
@@ -246,6 +241,58 @@ func (c *Crawler) Crawl(ctx context.Context, baseURL string) (*Visit, error) {
 		}
 	}
 	return v, nil
+}
+
+// sameSitePath resolves a link against the crawl base and returns its
+// path when it stays on the same host. Root-relative and same-site
+// absolute links — the overwhelming majority — resolve without parsing a
+// URL; anything that needs real URL semantics (percent-escapes, dot
+// segments, relative references, foreign hosts) falls back to net/url so
+// the resolved path matches what ResolveReference would produce.
+func sameSitePath(link string, base *url.URL, sitePrefix string) (string, bool) {
+	// "/." catches every dot-segment form ("/../x", "/./x", trailing "/..")
+	// in the absolute paths the fast path handles; false positives like
+	// "/.well-known/" just take the slower, equivalent fallback.
+	if !strings.Contains(link, "%") && !strings.Contains(link, "/.") {
+		switch {
+		case strings.HasPrefix(link, "/"):
+			if !strings.HasPrefix(link, "//") { // "//host/path" is scheme-relative
+				return trimPath(link), true
+			}
+		case strings.HasPrefix(link, sitePrefix):
+			rest := link[len(sitePrefix):]
+			if rest == "" {
+				return "/", true
+			}
+			if rest[0] == '/' {
+				return trimPath(rest), true
+			}
+		}
+	}
+	ref, err := url.Parse(link)
+	if err != nil {
+		return "", false
+	}
+	abs := base.ResolveReference(ref)
+	if abs.Host != base.Host {
+		return "", false
+	}
+	if abs.Path == "" {
+		return "/", true
+	}
+	return abs.Path, true
+}
+
+// trimPath drops a query string or fragment from a root-relative link,
+// mirroring what resolving through url.URL.Path would keep.
+func trimPath(p string) string {
+	if i := strings.IndexAny(p, "?#"); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		return "/"
+	}
+	return p
 }
 
 // FetchOne retrieves a single URL the way assistant crawlers do for a
@@ -295,6 +342,16 @@ func (c *Crawler) FetchOne(ctx context.Context, rawURL string) (fetched bool, v 
 	return true, v, nil
 }
 
+// maxBodyBytes bounds how much of a response a crawler reads.
+const maxBodyBytes = 1 << 20
+
+// copyBufPool recycles the scratch buffers get uses to drain response
+// bodies; draining fully (instead of closing early) is what lets the
+// transport return the connection to the keep-alive pool.
+var copyBufPool = sync.Pool{
+	New: func() any { return make([]byte, 16*1024) },
+}
+
 func (c *Crawler) get(ctx context.Context, rawURL string) (int, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
 	if err != nil {
@@ -306,23 +363,30 @@ func (c *Crawler) get(ctx context.Context, rawURL string) (int, string, error) {
 		return 0, "", err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var sb strings.Builder
+	if resp.ContentLength > 0 && resp.ContentLength <= maxBodyBytes {
+		sb.Grow(int(resp.ContentLength))
+	}
+	buf := copyBufPool.Get().([]byte)
+	_, err = io.CopyBuffer(&sb, io.LimitReader(resp.Body, maxBodyBytes), buf)
+	copyBufPool.Put(buf) //nolint:staticcheck // fixed-size []byte scratch buffer
 	if err != nil {
 		return resp.StatusCode, "", err
 	}
-	return resp.StatusCode, string(body), nil
+	return resp.StatusCode, sb.String(), nil
 }
 
 // ExtractLinks scans HTML for href and src attribute values. It is a
 // small tokenizer, not a full HTML parser: good enough for the
-// well-formed pages the instrumented sites serve.
+// well-formed pages the instrumented sites serve. Attribute names are
+// matched case-insensitively in place, without lowercasing a copy of the
+// page.
 func ExtractLinks(body string) []string {
 	var out []string
-	lower := strings.ToLower(body)
 	for _, attr := range []string{`href="`, `src="`} {
 		idx := 0
 		for {
-			i := strings.Index(lower[idx:], attr)
+			i := indexFold(body[idx:], attr)
 			if i < 0 {
 				break
 			}
@@ -332,12 +396,49 @@ func ExtractLinks(body string) []string {
 				break
 			}
 			link := body[start : start+end]
-			if link != "" && !strings.HasPrefix(link, "#") &&
-				!strings.HasPrefix(strings.ToLower(link), "javascript:") {
+			if link != "" && !strings.HasPrefix(link, "#") && !hasPrefixFold(link, "javascript:") {
 				out = append(out, link)
 			}
 			idx = start + end
 		}
 	}
 	return out
+}
+
+// indexFold returns the index of the first ASCII case-insensitive
+// occurrence of substr in s, or -1. substr must be lowercase ASCII.
+func indexFold(s, substr string) int {
+	if len(substr) == 0 {
+		return 0
+	}
+	for i := 0; i+len(substr) <= len(s); i++ {
+		if lowerByte(s[i]) != substr[0] {
+			continue
+		}
+		if hasPrefixFold(s[i:], substr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// hasPrefixFold reports whether s starts with prefix under ASCII case
+// folding. prefix must be lowercase ASCII.
+func hasPrefixFold(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		if lowerByte(s[i]) != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
 }

@@ -389,7 +389,7 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		if err != nil {
 			return nil, err
 		}
-		before := len(site.Log())
+		before := site.LogLen()
 		if _, _, err := cr.FetchOne(ctx, site.URL()+"/about.html"); err != nil {
 			return nil, err
 		}
@@ -424,7 +424,7 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		tp := third[i%len(third)]
 		pool := crawlers[tp.Backend]
 		cr := pool[rn.Intn(len(pool))]
-		before := len(site.Log())
+		before := site.LogLen()
 		if _, _, err := cr.FetchOne(ctx, site.URL()+"/gallery.html"); err != nil {
 			return nil, err
 		}
@@ -454,7 +454,7 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		cr := crawlers[tp.Backend][0]
 		var windows []triggerEvidence
 		for i := 0; i < 6; i++ {
-			before := len(probe.Log())
+			before := probe.LogLen()
 			if _, _, err := cr.FetchOne(ctx, probe.URL()+"/about.html"); err != nil {
 				probe.Close()
 				return nil, err

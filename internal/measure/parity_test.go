@@ -1,0 +1,107 @@
+package measure
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/netsim"
+	"repro/internal/webserver"
+)
+
+// comparableLog strips timestamps, which are wall-clock and not part of
+// the measurement contract; everything the analyses read stays.
+func comparableLog(recs []webserver.Record) []webserver.Record {
+	out := append([]webserver.Record(nil), recs...)
+	for i := range out {
+		out[i].Time = time.Time{}
+	}
+	return out
+}
+
+// TestKeepAliveParityPassiveStudy runs the full §5 passive study with the
+// pooled keep-alive transport and with the compatibility knob forcing the
+// old per-request dial, asserting identical verdicts — the transport must
+// be invisible to the measurement.
+func TestKeepAliveParityPassiveStudy(t *testing.T) {
+	run := func(legacy bool) *PassiveResult {
+		if legacy {
+			netsim.SetLegacyPerRequestDial(true)
+			defer netsim.SetLegacyPerRequestDial(false)
+		}
+		res, err := RunPassive(context.Background(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pooled := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(pooled.Verdicts, legacy.Verdicts) {
+		t.Errorf("verdicts diverged:\npooled: %v\nlegacy: %v", pooled.Verdicts, legacy.Verdicts)
+	}
+	if !reflect.DeepEqual(pooled.IPVerified, legacy.IPVerified) {
+		t.Errorf("IP verification diverged:\npooled: %v\nlegacy: %v", pooled.IPVerified, legacy.IPVerified)
+	}
+	if !reflect.DeepEqual(pooled.Visitors, legacy.Visitors) {
+		t.Errorf("visitor sets diverged:\npooled: %v\nlegacy: %v", pooled.Visitors, legacy.Visitors)
+	}
+}
+
+// TestKeepAliveParityServerLogs drives one crawler fleet at an
+// instrumented site under both transports and asserts the server logs are
+// identical record for record (everything but wall-clock time): same
+// source IPs, same user agents, same paths in the same order, same
+// statuses and byte counts.
+func TestKeepAliveParityServerLogs(t *testing.T) {
+	capture := func(legacy bool) []webserver.Record {
+		if legacy {
+			netsim.SetLegacyPerRequestDial(true)
+			defer netsim.SetLegacyPerRequestDial(false)
+		}
+		nw := netsim.New()
+		site, err := webserver.Start(nw, webserver.WildcardDisallowSite("parity.test", "203.0.113.90"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer site.Close()
+		profiles := []crawler.Profile{
+			{Token: "GPTBot", SourceIP: "24.0.1.10", Behavior: crawler.Compliant},
+			{Token: "Bytespider", SourceIP: "30.0.1.10", Behavior: crawler.FetchIgnore},
+			{Token: "WebFetcher", SourceIP: "100.64.0.10", Behavior: crawler.NoFetch},
+			{Token: "BuggyBot", SourceIP: "100.65.0.10", Behavior: crawler.BuggyFetch},
+		}
+		ctx := context.Background()
+		for _, p := range profiles {
+			cr, err := crawler.New(nw, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two waves each: keep-alive reuses connections across waves,
+			// per-request dial opens one per request.
+			for wave := 0; wave < 2; wave++ {
+				if _, err := cr.Crawl(ctx, site.URL()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return site.Log()
+	}
+	pooled := comparableLog(capture(false))
+	legacy := comparableLog(capture(true))
+	if len(pooled) == 0 {
+		t.Fatal("no traffic captured")
+	}
+	if !reflect.DeepEqual(pooled, legacy) {
+		if len(pooled) != len(legacy) {
+			t.Fatalf("log lengths diverged: pooled %d, legacy %d", len(pooled), len(legacy))
+		}
+		for i := range pooled {
+			if pooled[i] != legacy[i] {
+				t.Fatalf("log record %d diverged:\npooled: %+v\nlegacy: %+v", i, pooled[i], legacy[i])
+			}
+		}
+	}
+}

@@ -5,9 +5,12 @@
 // observed in web server logs (some companies publish crawl ranges, some do
 // not). Loopback TCP cannot reproduce that: every connection arrives from
 // 127.0.0.1. netsim instead implements net.Listener and a dialer on top of
-// synchronous net.Pipe pairs whose LocalAddr/RemoteAddr carry the simulated
-// addresses, so an unmodified net/http server and client exchange real HTTP
-// while logs show the crawler's simulated source IP.
+// buffered duplex pipe pairs (see pipe.go) whose LocalAddr/RemoteAddr carry
+// the simulated addresses, so an unmodified net/http server and client
+// exchange real HTTP while logs show the crawler's simulated source IP.
+// Unlike net.Pipe, reads and writes do not rendezvous per byte: each
+// direction buffers up to a TCP-window's worth of data, and deadlines are
+// honored.
 //
 // A Network also contains a miniature name service (Register/Resolve) so
 // HTTP clients can use ordinary host-based URLs.
@@ -32,6 +35,21 @@ var ErrConnRefused = errors.New("netsim: connection refused")
 
 // ErrNameNotFound is returned when a hostname has no registered address.
 var ErrNameNotFound = errors.New("netsim: no such host")
+
+// legacyPerRequestDial restores the pre-pooling transport behaviour:
+// every HTTP request dials a fresh connection (DisableKeepAlives). It
+// exists as a compatibility knob so parity tests can prove that pooled
+// keep-alive connections leave server logs and verdicts bit-identical;
+// production paths never set it.
+var legacyPerRequestDial atomic.Bool
+
+// SetLegacyPerRequestDial toggles the compatibility transport for clients
+// created after the call: when enabled, HTTPClient disables keep-alives
+// and dials per request exactly as the pre-optimization transport did.
+func SetLegacyPerRequestDial(enabled bool) { legacyPerRequestDial.Store(enabled) }
+
+// LegacyPerRequestDial reports whether the compatibility transport is on.
+func LegacyPerRequestDial() bool { return legacyPerRequestDial.Load() }
 
 // Network is an in-memory IP network. The zero value is not usable; create
 // one with New. All methods are safe for concurrent use.
@@ -93,9 +111,8 @@ func (n *Network) Listen(ip string, port int) (net.Listener, error) {
 		network: n,
 		key:     key,
 		addr:    &net.TCPAddr{IP: parsed, Port: port},
-		backlog: make(chan net.Conn, 64),
-		done:    make(chan struct{}),
 	}
+	l.cond.L = &l.mu
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, exists := n.listeners[key]; exists {
@@ -139,25 +156,20 @@ func (n *Network) Dial(ctx context.Context, sourceIP, addr string) (net.Conn, er
 		}
 	}
 
-	clientSide, serverSide := net.Pipe()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	srcPort := 32768 + int(n.ephemeral.Add(1)%28000)
 	clientAddr := &net.TCPAddr{IP: net.ParseIP(sourceIP), Port: srcPort}
 	serverAddr := &net.TCPAddr{IP: net.ParseIP(ip), Port: port}
-	cc := &conn{Conn: clientSide, local: clientAddr, remote: serverAddr}
-	sc := &conn{Conn: serverSide, local: serverAddr, remote: clientAddr}
-
-	select {
-	case l.backlog <- sc:
-		return cc, nil
-	case <-l.done:
+	cc, sc := newConnPair(clientAddr, serverAddr)
+	if reason := l.enqueue(sc); reason != "" {
 		cc.Close()
 		sc.Close()
-		return nil, fmt.Errorf("%w: %s (listener closed)", ErrConnRefused, key)
-	case <-ctx.Done():
-		cc.Close()
-		sc.Close()
-		return nil, ctx.Err()
+		return nil, fmt.Errorf("%w: %s (%s)", ErrConnRefused, key, reason)
 	}
+	return cc, nil
 }
 
 // Dialer returns a DialContext function suitable for http.Transport that
@@ -170,55 +182,109 @@ func (n *Network) Dialer(sourceIP string) func(ctx context.Context, network, add
 
 // HTTPClient returns an http.Client whose connections originate from
 // sourceIP and traverse this network. Each call returns an independent
-// client with its own transport so callers may customize timeouts freely.
+// client with its own transport, so connection pooling is naturally keyed
+// by (sourceIP, target): sequential requests to the same host reuse one
+// kept-alive connection, and server logs still attribute every request to
+// the client's simulated source IP via CLF.
+//
+// The client carries no overall request timeout: wrapping every request
+// in a deadline context costs several allocations and a timer on the hot
+// path, and the simulated network cannot stall silently (a closed peer
+// always surfaces as EOF or ErrConnReset). Callers that want a bound
+// pass a cancellable or deadline context per request — every experiment
+// driver in this repo already does — or set Timeout on the returned
+// client.
 func (n *Network) HTTPClient(sourceIP string) *http.Client {
-	return &http.Client{
-		Transport: &http.Transport{
-			DialContext:       n.Dialer(sourceIP),
-			DisableKeepAlives: true,
-		},
-		Timeout: 10 * time.Second,
+	// Every client in this codebase issues requests sequentially, so one
+	// idle connection per host is all reuse requires; the caps keep
+	// surveys that touch thousands of hosts from pinning buffer memory.
+	tr := &http.Transport{
+		DialContext:         n.Dialer(sourceIP),
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 2,
+		IdleConnTimeout:     90 * time.Second,
 	}
+	if legacyPerRequestDial.Load() {
+		tr.DisableKeepAlives = true
+	}
+	return &http.Client{Transport: tr}
 }
 
+// maxBacklog bounds a listener's accept queue, like a kernel SYN queue:
+// dials beyond it are refused rather than queued without bound. High
+// enough that a listener with a live accept loop never hits it.
+const maxBacklog = 1024
+
+// listener is a bound address with a bounded accept queue. Close drains
+// the queue and closes every conn still in it, so a dialer whose
+// connection was accepted into the backlog but never served observes a
+// reset on first use instead of blocking forever.
 type listener struct {
-	network   *Network
-	key       string
-	addr      net.Addr
-	backlog   chan net.Conn
-	done      chan struct{}
-	closeOnce sync.Once
+	network *Network
+	key     string
+	addr    net.Addr
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	queue  []net.Conn
+	closed bool
+}
+
+// enqueue hands the server end of a new connection to the listener. A
+// non-empty return is the refusal reason.
+func (l *listener) enqueue(c net.Conn) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return "listener closed"
+	}
+	if len(l.queue) >= maxBacklog {
+		return "backlog full"
+	}
+	l.queue = append(l.queue, c)
+	l.cond.Signal()
+	return ""
 }
 
 // Accept waits for an inbound connection.
 func (l *listener) Accept() (net.Conn, error) {
-	select {
-	case c := <-l.backlog:
-		return c, nil
-	case <-l.done:
-		return nil, net.ErrClosed
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.closed {
+		l.cond.Wait()
 	}
+	if len(l.queue) > 0 {
+		c := l.queue[0]
+		l.queue = l.queue[1:]
+		return c, nil
+	}
+	return nil, net.ErrClosed
 }
 
-// Close releases the bound address. Pending dials fail with ErrConnRefused.
+// Close releases the bound address. Dials after the close fail with
+// ErrConnRefused; connections already queued in the backlog are closed,
+// so their dialers see ErrConnReset on first read or write.
 func (l *listener) Close() error {
-	l.closeOnce.Do(func() {
-		close(l.done)
-		l.network.mu.Lock()
-		delete(l.network.listeners, l.key)
-		l.network.mu.Unlock()
-	})
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	drained := l.queue
+	l.queue = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	l.network.mu.Lock()
+	delete(l.network.listeners, l.key)
+	l.network.mu.Unlock()
+
+	for _, c := range drained {
+		c.Close()
+	}
 	return nil
 }
 
 // Addr returns the bound address.
 func (l *listener) Addr() net.Addr { return l.addr }
-
-// conn decorates a pipe end with simulated addresses.
-type conn struct {
-	net.Conn
-	local, remote net.Addr
-}
-
-func (c *conn) LocalAddr() net.Addr  { return c.local }
-func (c *conn) RemoteAddr() net.Addr { return c.remote }

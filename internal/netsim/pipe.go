@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrConnReset is returned by reads and writes on a connection whose peer
+// has closed — including dials that were accepted into a listener's
+// backlog just before the listener shut down and drained it.
+var ErrConnReset = errors.New("netsim: connection reset by peer")
+
+// connBufSize is the per-direction buffer capacity of a simulated
+// connection. It plays the role of the TCP window: writers block only
+// when the reader has fallen this many bytes behind, instead of
+// rendezvousing with the reader on every byte the way net.Pipe does.
+// 32 KiB comfortably exceeds every request and response the simulated
+// sites exchange while keeping pooled keep-alive connections cheap.
+const connBufSize = 32 * 1024
+
+// bufPool recycles direction buffers across connections; crawl workloads
+// open and close connections at a rate that would otherwise make these
+// 64 KiB allocations the dominant source of garbage.
+var bufPool = sync.Pool{
+	New: func() any { return make([]byte, connBufSize) },
+}
+
+// halfPipe is one direction of a duplex connection: a fixed-capacity ring
+// buffer with exactly one reading conn and one writing conn. A single
+// cond (broadcast on every state change) serves both sides; each
+// direction has at most one blocked reader and one blocked writer, so the
+// extra wakeups are immaterial.
+type halfPipe struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	buf []byte // ring storage, returned to bufPool when both sides close
+	r   int    // index of the next byte to read
+	n   int    // bytes currently buffered
+
+	readerGone bool // read side closed: writes fail with ErrConnReset
+	writerGone bool // write side closed: reads drain, then io.EOF
+
+	rdl expiry // read deadline (owned by the reading conn)
+	wdl expiry // write deadline (owned by the writing conn)
+}
+
+// expiry is an armable deadline; when the timer fires it marks itself
+// expired and broadcasts the halfPipe's cond so blocked operations fail.
+// gen invalidates in-flight timer callbacks: a callback whose Stop lost
+// the race must not poison a deadline that was cleared or re-armed after
+// it was scheduled.
+type expiry struct {
+	timer   *time.Timer
+	expired bool
+	gen     uint64
+}
+
+func newHalfPipe() *halfPipe {
+	h := &halfPipe{buf: bufPool.Get().([]byte)}
+	h.cond.L = &h.mu
+	return h
+}
+
+// read copies buffered bytes into p, blocking until data, EOF, deadline
+// expiry, or close.
+func (h *halfPipe) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		switch {
+		case h.readerGone:
+			return 0, io.ErrClosedPipe
+		case h.rdl.expired:
+			return 0, os.ErrDeadlineExceeded
+		case h.n > 0:
+			nr := 0
+			for nr < len(p) && h.n > 0 {
+				chunk := len(h.buf) - h.r // contiguous run before wraparound
+				if chunk > h.n {
+					chunk = h.n
+				}
+				c := copy(p[nr:], h.buf[h.r:h.r+chunk])
+				nr += c
+				h.r = (h.r + c) % len(h.buf)
+				h.n -= c
+			}
+			h.cond.Broadcast() // space freed: wake a blocked writer
+			return nr, nil
+		case h.writerGone:
+			return 0, io.EOF
+		}
+		h.cond.Wait()
+	}
+}
+
+// write copies all of p into the ring, blocking while the buffer is full.
+func (h *halfPipe) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total int
+	for len(p) > 0 {
+		switch {
+		case h.writerGone:
+			return total, io.ErrClosedPipe
+		case h.readerGone:
+			return total, ErrConnReset
+		case h.wdl.expired:
+			return total, os.ErrDeadlineExceeded
+		}
+		if h.n == len(h.buf) {
+			h.cond.Wait()
+			continue
+		}
+		w := (h.r + h.n) % len(h.buf)
+		chunk := len(h.buf) - w // contiguous run before wraparound
+		if free := len(h.buf) - h.n; chunk > free {
+			chunk = free
+		}
+		c := copy(h.buf[w:w+chunk], p)
+		h.n += c
+		total += c
+		p = p[c:]
+		h.cond.Broadcast() // data available: wake a blocked reader
+	}
+	return total, nil
+}
+
+// closeRead shuts the reading side: the peer's pending and future writes
+// fail with ErrConnReset.
+func (h *halfPipe) closeRead() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.readerGone {
+		return
+	}
+	h.readerGone = true
+	if h.rdl.timer != nil {
+		h.rdl.timer.Stop()
+		h.rdl.timer = nil
+	}
+	h.releaseLocked()
+	h.cond.Broadcast()
+}
+
+// closeWrite shuts the writing side: the peer drains what is buffered and
+// then reads io.EOF, exactly like a TCP FIN.
+func (h *halfPipe) closeWrite() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.writerGone {
+		return
+	}
+	h.writerGone = true
+	if h.wdl.timer != nil {
+		h.wdl.timer.Stop()
+		h.wdl.timer = nil
+	}
+	h.releaseLocked()
+	h.cond.Broadcast()
+}
+
+// releaseLocked returns the ring storage to the pool once neither side
+// can touch it again. Callers must hold h.mu.
+func (h *halfPipe) releaseLocked() {
+	if h.readerGone && h.writerGone && h.buf != nil {
+		bufPool.Put(h.buf) //nolint:staticcheck // fixed-size []byte, no pointer indirection concern
+		h.buf = nil
+		h.n = 0
+	}
+}
+
+// setDeadline arms or clears one side's deadline. Callers pass the field
+// they own (rdl for the reading conn, wdl for the writing conn).
+func (h *halfPipe) setDeadline(d *expiry, t time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	d.expired = false
+	d.gen++
+	if !t.IsZero() {
+		if dur := time.Until(t); dur <= 0 {
+			d.expired = true
+		} else {
+			gen := d.gen
+			d.timer = time.AfterFunc(dur, func() {
+				h.mu.Lock()
+				if d.gen == gen { // not cleared or re-armed since scheduling
+					d.expired = true
+					h.cond.Broadcast()
+				}
+				h.mu.Unlock()
+			})
+		}
+	}
+	h.cond.Broadcast()
+}
+
+// conn is one end of a simulated duplex connection: it reads from one
+// ring and writes to the other, and carries the simulated addresses that
+// server logs attribute requests by.
+type conn struct {
+	rd, wr        *halfPipe
+	local, remote net.Addr
+	closeOnce     sync.Once
+}
+
+// newConnPair builds the two ends of a connection between client and
+// server addresses.
+func newConnPair(clientAddr, serverAddr net.Addr) (clientEnd, serverEnd *conn) {
+	req := newHalfPipe()  // client -> server
+	resp := newHalfPipe() // server -> client
+	clientEnd = &conn{rd: resp, wr: req, local: clientAddr, remote: serverAddr}
+	serverEnd = &conn{rd: req, wr: resp, local: serverAddr, remote: clientAddr}
+	return clientEnd, serverEnd
+}
+
+func (c *conn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *conn) Write(p []byte) (int, error) { return c.wr.write(p) }
+
+// Close shuts both directions: the peer drains buffered data and then
+// sees EOF on reads, and its writes fail with ErrConnReset.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.rd.closeRead()
+		c.wr.closeWrite()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return c.local }
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rd.setDeadline(&c.rd.rdl, t)
+	c.wr.setDeadline(&c.wr.wdl, t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rd.setDeadline(&c.rd.rdl, t)
+	return nil
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setDeadline(&c.wr.wdl, t)
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/agents"
 	"repro/internal/netsim"
@@ -212,7 +213,10 @@ func RunGreyBox(seed int64, extraAgents int) (*GreyBoxResult, error) {
 		return nil, err
 	}
 	defer site.Close()
+	// Grey-box replays run without a caller context; bound them with a
+	// client-level timeout instead.
 	client := nw.HTTPClient("198.51.100.230")
+	client.Timeout = 10 * time.Second
 
 	var probes []string
 	for _, a := range agents.Table1 {
@@ -557,7 +561,10 @@ func RunInferenceSurvey(ctx context.Context, n int, seed int64, workers int) (*C
 	}
 
 	res := &CFSurveyResult{Total: n}
+	// The robots correlation pass issues requests without a caller
+	// context, so give this client its own overall timeout as the bound.
 	client := nw.HTTPClient("198.51.100.241")
+	client.Timeout = 10 * time.Second
 	var onRobots, offRobots, onCount, offCount int
 	for i, inf := range inferences {
 		switch inf {
@@ -615,7 +622,7 @@ func robotsDisallowsAI(client *http.Client, domain string) bool {
 			break
 		}
 	}
-	rb := robots.ParseString(sb.String())
+	rb := robots.ParseCached(sb.String())
 	for _, tok := range rb.AgentTokens() {
 		if _, ok := agents.ByToken(tok); ok {
 			if lvl, explicit := rb.ExplicitRestriction(tok); explicit && lvl.Restricted() {

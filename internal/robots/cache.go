@@ -1,0 +1,112 @@
+package robots
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheSize is the entry cap of the package-level shared cache.
+// Robots bodies in the simulations are highly repetitive (site templates,
+// managed rule lists, the two measurement policies), so even a modest cap
+// achieves a near-perfect hit rate.
+const DefaultCacheSize = 4096
+
+// Cache is a concurrency-safe, content-keyed parse cache: the same body
+// parsed under the same Profile returns the same *Robots. Parsing is
+// singleflighted — concurrent first requests for one body parse it once
+// while the others wait — and entries are evicted least-recently-used
+// beyond the cap.
+//
+// Sharing parsed policies is safe because *Robots is immutable after
+// Parse: every accessor builds its answer from the parsed groups without
+// mutating them (the per-agent access memo in match.go is itself
+// concurrency-safe).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = most recently used; Value is *cacheEntry
+}
+
+type cacheKey struct {
+	profile Profile
+	body    string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	done chan struct{} // closed once rb is set
+	rb   *Robots
+}
+
+// NewCache returns a cache holding at most maxEntries parsed files;
+// maxEntries <= 0 means DefaultCacheSize.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Cache{
+		max:     maxEntries,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Parse returns the parsed form of body under the default profile,
+// reusing a previous parse of identical content when available.
+func (c *Cache) Parse(body string) *Robots {
+	return c.ParseProfile(body, ProfileGoogle)
+}
+
+// ParseProfile returns the parsed form of body under profile p, reusing a
+// previous parse of identical content when available.
+func (c *Cache) ParseProfile(body string, p Profile) *Robots {
+	key := cacheKey{profile: p, body: body}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.done
+		return e.rb
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+
+	// Parse outside the lock; waiters block on done, not on the mutex. An
+	// entry evicted while in flight still completes for its waiters.
+	e.rb = ParseStringProfile(body, p)
+	close(e.done)
+	return e.rb
+}
+
+// Len returns the number of cached entries (including in-flight parses).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// sharedCache backs ParseCached / ParseCachedProfile: one process-wide
+// policy cache shared by the crawl hot paths (crawler fetches, blocking
+// surveys, proxy robots checks, scenario policy updates).
+var sharedCache = NewCache(DefaultCacheSize)
+
+// ParseCached parses a robots.txt body through the shared process-wide
+// cache: identical bodies return the identical *Robots. Use it on hot
+// paths that repeatedly see the same policies; results must be treated as
+// read-only (all exported accessors are).
+func ParseCached(body string) *Robots {
+	return sharedCache.Parse(body)
+}
+
+// ParseCachedProfile is ParseCached under an explicit semantics profile.
+func ParseCachedProfile(body string, p Profile) *Robots {
+	return sharedCache.ParseProfile(body, p)
+}

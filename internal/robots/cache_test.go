@@ -1,0 +1,146 @@
+package robots
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheIdentitySameBodySameRobots(t *testing.T) {
+	c := NewCache(16)
+	body := "User-agent: GPTBot\nDisallow: /\n"
+	a := c.Parse(body)
+	b := c.Parse(body)
+	if a != b {
+		t.Fatal("same body must return the identical *Robots")
+	}
+	// A different profile is a different cache identity.
+	strict := c.ParseProfile(body, ProfileStrictRFC)
+	if strict == a {
+		t.Fatal("different profiles must not share a parse")
+	}
+	if again := c.ParseProfile(body, ProfileStrictRFC); again != strict {
+		t.Fatal("same profile+body must return the identical *Robots")
+	}
+	// Different bodies are distinct entries.
+	if other := c.Parse("User-agent: CCBot\nDisallow: /\n"); other == a {
+		t.Fatal("different bodies must not share a parse")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", c.Len())
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(2)
+	bodyA := "User-agent: A\nDisallow: /\n"
+	bodyB := "User-agent: B\nDisallow: /\n"
+	bodyC := "User-agent: C\nDisallow: /\n"
+
+	a1 := c.Parse(bodyA)
+	c.Parse(bodyB)
+	// Touch A so B is the least recently used, then insert C.
+	if a2 := c.Parse(bodyA); a2 != a1 {
+		t.Fatal("A evicted prematurely")
+	}
+	c.Parse(bodyC)
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want cap 2", c.Len())
+	}
+	// A survived (recently used)...
+	if a3 := c.Parse(bodyA); a3 != a1 {
+		t.Fatal("recently-used entry was evicted")
+	}
+	// ...which means B was evicted and re-parsing it grew the cache back
+	// to cap by evicting C in turn; the fresh parse is a new value that
+	// still classifies identically.
+	b2 := c.Parse(bodyB)
+	if !b2.Agent("B").Explicit {
+		t.Fatal("re-parsed entry lost its content")
+	}
+}
+
+func TestCacheConcurrentAccessSingleIdentity(t *testing.T) {
+	c := NewCache(64)
+	const goroutines = 32
+	const bodies = 8
+	results := make([][]*Robots, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]*Robots, bodies)
+			for i := 0; i < bodies; i++ {
+				body := fmt.Sprintf("User-agent: Bot%d\nDisallow: /private%d/\n", i, i)
+				results[g][i] = c.Parse(body)
+				// Exercise the concurrent access memo too.
+				if results[g][i].Allowed(fmt.Sprintf("Bot%d", i), fmt.Sprintf("/private%d/x", i)) {
+					t.Errorf("body %d: disallowed path reported allowed", i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < bodies; i++ {
+		for g := 1; g < goroutines; g++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got a different *Robots for body %d", g, i)
+			}
+		}
+	}
+	if c.Len() != bodies {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), bodies)
+	}
+}
+
+// TestCachedVerdictParityAcrossProfiles asserts that a cached parse and a
+// fresh parse reach identical access verdicts for every parser profile,
+// on bodies that specifically exercise each profile's divergences.
+func TestCachedVerdictParityAcrossProfiles(t *testing.T) {
+	bodies := []string{
+		"User-agent: *\nDisallow: /\n",
+		"User-agent: GPTBot\nUser-agent: CCBot\nDisallow: /images/\nAllow: /images/public/\n",
+		// Blank line inside a group (BlankLineBreaksGroups divergence).
+		"User-agent: Bytespider\n\nDisallow: /\n",
+		// Crawl-delay between groups (CrawlDelayBreaksGroups divergence).
+		"User-agent: gptbot\nCrawl-delay: 5\nUser-agent: ClaudeBot\nDisallow: /blog/\n",
+		// Case sensitivity and hierarchy (CaseSensitiveAgents / StrictTokenMatch).
+		"User-agent: Googlebot\nDisallow: /news/\n",
+		// Precedence ordering (FirstMatchPrecedence divergence).
+		"User-agent: *\nAllow: /shop/public\nDisallow: /shop\nDisallow: /search$\n",
+	}
+	agents := []string{"GPTBot", "gptbot", "CCBot", "Bytespider", "ClaudeBot",
+		"Googlebot", "Googlebot-News", "RandomBot"}
+	paths := []string{"/", "/images/x.png", "/images/public/x.png", "/blog/post",
+		"/news/today", "/shop/public/item", "/shop/cart", "/search", "/robots.txt"}
+	profiles := []Profile{ProfileGoogle, ProfileStrictRFC, ProfileLegacyBuggy, ProfileClassic1994}
+
+	cache := NewCache(0)
+	for _, p := range profiles {
+		for _, body := range bodies {
+			cached := cache.ParseProfile(body, p)
+			fresh := ParseStringProfile(body, p)
+			for _, ua := range agents {
+				ca, fa := cached.Agent(ua), fresh.Agent(ua)
+				if ca.Explicit != fa.Explicit {
+					t.Errorf("profile %s body %q agent %s: Explicit cached=%v fresh=%v",
+						p.Name, body, ua, ca.Explicit, fa.Explicit)
+				}
+				for _, path := range paths {
+					if got, want := ca.Allowed(path), fa.Allowed(path); got != want {
+						t.Errorf("profile %s body %q agent %s path %s: cached=%v fresh=%v",
+							p.Name, body, ua, path, got, want)
+					}
+				}
+				// Restriction classification must agree too.
+				cl, ce := cached.ExplicitRestriction(ua)
+				fl, fe := fresh.ExplicitRestriction(ua)
+				if cl != fl || ce != fe {
+					t.Errorf("profile %s body %q agent %s: restriction cached=(%v,%v) fresh=(%v,%v)",
+						p.Name, body, ua, cl, ce, fl, fe)
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package robots
 
 import (
-	"sort"
 	"strings"
 
 	"repro/internal/useragent"
@@ -18,7 +17,10 @@ type Access struct {
 	// MatchedAgents are the group names that matched (lowercased).
 	MatchedAgents []string
 
-	rules                []Rule
+	rules []Rule
+	// normPats holds normalizePath(rules[i].Path), precomputed once so
+	// Allowed does no per-call normalization work.
+	normPats             []string
 	firstMatchPrecedence bool
 }
 
@@ -27,70 +29,102 @@ type Access struct {
 // follows the parse profile: by default the most specific matching group
 // name governs ("googlebot-news" over "googlebot" over "*"), with all
 // groups of that name merged per RFC 9309.
+//
+// Access views are memoized per user agent on the Robots value; the memo
+// is concurrency-safe, so cached *Robots (see Cache) can serve many
+// crawler goroutines at once.
 func (rb *Robots) Agent(ua string) Access {
+	if v, ok := rb.access.Load(ua); ok {
+		return v.(Access)
+	}
+	acc := rb.buildAccess(ua)
+	// Concurrent builders compute identical values; last store wins.
+	rb.access.Store(ua, acc)
+	return acc
+}
+
+// buildAccess resolves the governing groups for ua. Two passes over the
+// groups: the first finds the winning specificity, the second collects
+// the matching groups' rules in file order — no sorting or scratch maps.
+func (rb *Robots) buildAccess(ua string) Access {
 	token := useragent.ExtractToken(ua)
 	acc := Access{Token: token, firstMatchPrecedence: rb.profile.FirstMatchPrecedence}
 
-	type candidate struct {
-		specificity int // length of the matched group name
-		groupIdx    int
-		agent       string
-	}
-	var cands []candidate
 	best := -1
-	for gi, g := range rb.Groups {
-		for _, a := range g.Agents {
+	for gi := range rb.Groups {
+		for _, a := range rb.Groups[gi].Agents {
 			name := useragent.ExtractToken(a)
 			if name == "" || useragent.IsWildcard(a) {
 				continue
 			}
-			if !rb.agentNameMatches(name, token) {
-				continue
-			}
-			cands = append(cands, candidate{len(name), gi, strings.ToLower(name)})
-			if len(name) > best {
+			if rb.agentNameMatches(name, token) && len(name) > best {
 				best = len(name)
 			}
 		}
 	}
 	if best >= 0 {
 		acc.Explicit = true
-		seenGroup := make(map[int]bool)
-		seenAgent := make(map[string]bool)
-		sort.SliceStable(cands, func(i, j int) bool { return cands[i].groupIdx < cands[j].groupIdx })
-		for _, c := range cands {
-			if c.specificity != best {
-				continue
+		for gi := range rb.Groups {
+			g := &rb.Groups[gi]
+			matched := false
+			for _, a := range g.Agents {
+				name := useragent.ExtractToken(a)
+				if name == "" || useragent.IsWildcard(a) || len(name) != best {
+					continue
+				}
+				if !rb.agentNameMatches(name, token) {
+					continue
+				}
+				matched = true
+				lower := strings.ToLower(name)
+				if !containsString(acc.MatchedAgents, lower) {
+					acc.MatchedAgents = append(acc.MatchedAgents, lower)
+				}
 			}
-			if !seenAgent[c.agent] {
-				seenAgent[c.agent] = true
-				acc.MatchedAgents = append(acc.MatchedAgents, c.agent)
+			if matched {
+				acc.rules = append(acc.rules, g.Rules...)
 			}
-			if seenGroup[c.groupIdx] {
-				continue
-			}
-			seenGroup[c.groupIdx] = true
-			acc.rules = append(acc.rules, rb.Groups[c.groupIdx].Rules...)
 		}
+		acc.normalizeRules()
 		return acc
 	}
 	// Fall back to the wildcard groups, merged.
-	for _, g := range rb.Groups {
-		wild := false
+	for gi := range rb.Groups {
+		g := &rb.Groups[gi]
 		for _, a := range g.Agents {
 			if useragent.IsWildcard(a) {
-				wild = true
+				acc.rules = append(acc.rules, g.Rules...)
 				break
 			}
-		}
-		if wild {
-			acc.rules = append(acc.rules, g.Rules...)
 		}
 	}
 	if len(acc.rules) > 0 {
 		acc.MatchedAgents = []string{"*"}
 	}
+	acc.normalizeRules()
 	return acc
+}
+
+// normalizeRules precomputes the normalized pattern for every rule.
+func (a *Access) normalizeRules() {
+	if len(a.rules) == 0 {
+		return
+	}
+	a.normPats = make([]string, len(a.rules))
+	for i, r := range a.rules {
+		if r.Path != "" {
+			a.normPats[i] = normalizePath(r.Path)
+		}
+	}
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // agentNameMatches reports whether a robots.txt group name governs the
@@ -149,11 +183,11 @@ func (a Access) Allowed(path string) bool {
 	}
 	path = normalizePath(path)
 	if a.firstMatchPrecedence {
-		for _, r := range a.rules {
+		for i, r := range a.rules {
 			if r.Path == "" {
 				continue
 			}
-			if matchPattern(normalizePath(r.Path), path) {
+			if matchPattern(a.normPat(i), path) {
 				return r.Allow
 			}
 		}
@@ -161,11 +195,11 @@ func (a Access) Allowed(path string) bool {
 	}
 	bestLen := -1
 	allowed := true
-	for _, r := range a.rules {
+	for i, r := range a.rules {
 		if r.Path == "" {
 			continue // empty pattern matches nothing
 		}
-		pat := normalizePath(r.Path)
+		pat := a.normPat(i)
 		if !matchPattern(pat, path) {
 			continue
 		}
@@ -180,6 +214,15 @@ func (a Access) Allowed(path string) bool {
 		}
 	}
 	return allowed
+}
+
+// normPat returns the precomputed normalized pattern for rule i, falling
+// back to on-the-fly normalization for Access values built elsewhere.
+func (a Access) normPat(i int) string {
+	if i < len(a.normPats) {
+		return a.normPats[i]
+	}
+	return normalizePath(a.rules[i].Path)
 }
 
 // Allowed is a convenience wrapper: may the crawler ua fetch path?
@@ -197,23 +240,29 @@ func patternPriority(pat string) int { return len(pat) }
 // very end anchors the pattern to the end of the path.
 func matchPattern(pattern, path string) bool {
 	if strings.HasSuffix(pattern, "$") {
-		return matchFull(pattern[:len(pattern)-1], path)
+		return matchFull(pattern[:len(pattern)-1], path, true)
 	}
-	// An unanchored pattern must match some prefix of the path, which is
-	// the same as fully matching with an implicit trailing wildcard.
-	return matchFull(pattern+"*", path)
+	// An unanchored pattern must match some prefix of the path — the same
+	// as fully matching with an implicit trailing wildcard, handled inside
+	// matchFull without building a new pattern string.
+	return matchFull(pattern, path, false)
 }
 
-// matchFull reports whether pattern (with '*' wildcards) matches the whole
-// path, using greedy two-pointer matching with backtracking. It runs in
-// O(len(pattern) * len(path)) worst case and allocates nothing.
-func matchFull(pattern, path string) bool {
+// matchFull reports whether pattern (with '*' wildcards) matches path,
+// using greedy two-pointer matching with backtracking. When anchored is
+// false the pattern only needs to match a prefix of the path (implicit
+// trailing '*'). It runs in O(len(pattern) * len(path)) worst case and
+// allocates nothing.
+func matchFull(pattern, path string, anchored bool) bool {
 	var (
 		p, s         int  // cursors into pattern and path
 		starP, starS int  // backtrack positions
 		haveStar     bool // a '*' has been seen
 	)
 	for s < len(path) {
+		if !anchored && p == len(pattern) {
+			return true // implicit trailing '*' consumes the rest
+		}
 		switch {
 		case p < len(pattern) && pattern[p] == '*':
 			haveStar = true
@@ -241,10 +290,22 @@ func matchFull(pattern, path string) bool {
 // compare the way RFC 9309 §2.2.3 requires: valid %xx triplets are
 // uppercased and bytes outside the ASCII printable range are
 // percent-encoded. '*' and '$' are printable ASCII and pass through, so
-// the same normalization serves patterns and paths alike.
+// the same normalization serves patterns and paths alike. Paths that need
+// no rewriting — the overwhelmingly common case — are returned as-is
+// without allocating.
 func normalizePath(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '%' || c == ' ' || c >= 0x80 {
+			return normalizePathSlow(s)
+		}
+	}
+	return s
+}
+
+func normalizePathSlow(s string) string {
 	var b strings.Builder
-	b.Grow(len(s))
+	b.Grow(len(s) + 8)
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		switch {

@@ -58,10 +58,10 @@ func TestMatchFullBacktracking(t *testing.T) {
 	// Pathological backtracking input must still complete and be correct.
 	pattern := strings.Repeat("*a", 20)
 	path := "/" + strings.Repeat("a", 40)
-	if !matchFull("*"+pattern, path) {
+	if !matchFull("*"+pattern, path, true) {
 		t.Error("repeated-star pattern should match the run of a's")
 	}
-	if matchFull("*"+pattern+"b", path) {
+	if matchFull("*"+pattern+"b", path, true) {
 		t.Error("trailing literal not in path must fail")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/useragent"
 )
@@ -143,6 +144,13 @@ type Robots struct {
 	Truncated bool
 
 	profile Profile
+
+	// access memoizes Agent lookups per queried user agent. It makes
+	// repeated access checks against one parsed file — the crawl hot path
+	// — cheap, and is safe for concurrent use so parsed files can be
+	// shared through a Cache. Robots values must not be copied after
+	// first use.
+	access sync.Map
 }
 
 // Parse reads a robots.txt body with the default Google-compatible

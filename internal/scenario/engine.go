@@ -316,10 +316,12 @@ func (s *siteSim) restricts(tok string) bool {
 }
 
 // setRobots publishes a robots.txt body and caches its parsed policy for
-// log analysis.
+// log analysis. Policies come from a small set of renderers (wildcard,
+// managed list, frozen hand-written list), so the shared parse cache
+// collapses the per-site re-parses to one per distinct body.
 func (s *siteSim) setRobots(body string) {
 	s.site.SetRobots(&body)
-	s.policy = robots.ParseString(body)
+	s.policy = robots.ParseCached(body)
 }
 
 // scheduleManagedRefresh re-renders the managed rule list each month so

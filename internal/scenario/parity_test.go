@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestKeepAliveParityObservedScenario runs the observed-world builtin
+// with the pooled keep-alive transport and with the compatibility knob
+// forcing the old per-request dial, asserting the entire result —
+// monthly metrics, verdicts, totals — is identical. Crawl waves are real
+// HTTP, so this pins that transport pooling changed no measured byte.
+func TestKeepAliveParityObservedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario parity run in -short mode")
+	}
+	run := func(legacy bool) *Result {
+		if legacy {
+			netsim.SetLegacyPerRequestDial(true)
+			defer netsim.SetLegacyPerRequestDial(false)
+		}
+		res, err := Run(context.Background(), Observed(11, 8, 12), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pooled := run(false)
+	legacy := run(true)
+
+	if !reflect.DeepEqual(pooled.Verdicts, legacy.Verdicts) {
+		t.Errorf("verdicts diverged:\npooled: %v\nlegacy: %v", pooled.Verdicts, legacy.Verdicts)
+	}
+	if pooled.TotalVisits != legacy.TotalVisits ||
+		pooled.TotalDisallowedBytes != legacy.TotalDisallowedBytes ||
+		pooled.TotalBlockedRequests != legacy.TotalBlockedRequests {
+		t.Errorf("totals diverged: pooled (%d, %d, %d) vs legacy (%d, %d, %d)",
+			pooled.TotalVisits, pooled.TotalDisallowedBytes, pooled.TotalBlockedRequests,
+			legacy.TotalVisits, legacy.TotalDisallowedBytes, legacy.TotalBlockedRequests)
+	}
+	if len(pooled.Months) != len(legacy.Months) {
+		t.Fatalf("month counts diverged: %d vs %d", len(pooled.Months), len(legacy.Months))
+	}
+	for m := range pooled.Months {
+		if !reflect.DeepEqual(pooled.Months[m], legacy.Months[m]) {
+			t.Errorf("month %d diverged:\npooled: %+v\nlegacy: %+v",
+				m, pooled.Months[m], legacy.Months[m])
+		}
+	}
+}

@@ -6,12 +6,15 @@
 package webserver
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -75,15 +78,41 @@ type Record struct {
 	Bytes     int
 }
 
+// logShard is one connection's private slice of the site log. Each
+// serving goroutine appends to its own shard under its own mutex, so
+// concurrent connections never contend on a site-wide log lock; a global
+// sequence number stamped at append time lets Log merge the shards back
+// into the exact arrival order a single mutex would have produced.
+type logShard struct {
+	mu   sync.Mutex
+	recs []seqRecord
+}
+
+type seqRecord struct {
+	seq uint64
+	rec Record
+}
+
+// shardKey carries a connection's logShard through the request context.
+type shardKey struct{}
+
 // Site is a running instrumented website.
 type Site struct {
 	cfg Config
 
-	mu   sync.Mutex
-	log  []Record
+	mu   sync.Mutex // guards cfg mutations (robots, blocker, pages)
 	srv  *http.Server
 	ln   net.Listener
 	done chan struct{}
+
+	logSeq   atomic.Uint64
+	shardsMu sync.Mutex
+	shards   []*logShard
+	// connShards maps live connections to their shards so records can be
+	// folded into fallback when a connection closes, keeping the shard
+	// list proportional to live connections rather than total churn.
+	connShards map[net.Conn]*logShard
+	fallback   *logShard // for requests without a connection shard
 }
 
 // Start hosts the site on nw at cfg.IP:80 and registers cfg.Domain.
@@ -97,7 +126,25 @@ func Start(nw *netsim.Network, cfg Config) (*Site, error) {
 	}
 	nw.Register(cfg.Domain, cfg.IP)
 	s := &Site{cfg: cfg, ln: ln, done: make(chan struct{})}
-	s.srv = &http.Server{Handler: http.HandlerFunc(s.handle)}
+	s.fallback = &logShard{}
+	s.shards = []*logShard{s.fallback}
+	s.connShards = make(map[net.Conn]*logShard)
+	s.srv = &http.Server{
+		Handler: http.HandlerFunc(s.handle),
+		ConnContext: func(ctx context.Context, c net.Conn) context.Context {
+			sh := &logShard{}
+			s.shardsMu.Lock()
+			s.shards = append(s.shards, sh)
+			s.connShards[c] = sh
+			s.shardsMu.Unlock()
+			return context.WithValue(ctx, shardKey{}, sh)
+		},
+		ConnState: func(c net.Conn, st http.ConnState) {
+			if st == http.StateClosed || st == http.StateHijacked {
+				s.retireShard(c)
+			}
+		},
+	}
 	go func() {
 		defer close(s.done)
 		s.srv.Serve(ln)
@@ -166,26 +213,87 @@ func (s *Site) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(status)
-	n, _ := w.Write([]byte(body))
+	n, _ := io.WriteString(w, body)
 
 	host, _, _ := net.SplitHostPort(r.RemoteAddr)
-	s.mu.Lock()
-	s.log = append(s.log, Record{
+	sh, _ := r.Context().Value(shardKey{}).(*logShard)
+	if sh == nil {
+		sh = s.fallback
+	}
+	rec := Record{
 		Time:      time.Now(),
 		RemoteIP:  host,
 		UserAgent: r.UserAgent(),
 		Path:      r.URL.Path,
 		Status:    status,
 		Bytes:     n,
-	})
-	s.mu.Unlock()
+	}
+	sh.mu.Lock()
+	sh.recs = append(sh.recs, seqRecord{seq: s.logSeq.Add(1) - 1, rec: rec})
+	sh.mu.Unlock()
 }
 
-// Log returns a copy of all requests logged so far.
+// Log returns a copy of all requests logged so far, merged across the
+// per-connection shards into global arrival order. Requests issued
+// sequentially — by one client or by any externally serialized schedule —
+// appear exactly in issue order, the contract the measurement windowing
+// relies on.
 func (s *Site) Log() []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Record(nil), s.log...)
+	s.shardsMu.Lock()
+	shards := append([]*logShard(nil), s.shards...)
+	s.shardsMu.Unlock()
+	var all []seqRecord
+	for _, sh := range shards {
+		sh.mu.Lock()
+		all = append(all, sh.recs...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]Record, len(all))
+	for i, sr := range all {
+		out[i] = sr.rec
+	}
+	return out
+}
+
+// LogLen returns the number of requests logged so far without copying the
+// log. In quiescent states — no request in flight — it equals len(Log()),
+// which makes it the cheap way to mark a log window's start.
+func (s *Site) LogLen() int {
+	return int(s.logSeq.Load())
+}
+
+// retireShard folds a closed connection's records into the fallback
+// shard and drops the shard, so the shard list tracks live connections
+// instead of growing with every connection the site ever served. The
+// serve loop has exited by the time ConnState reports StateClosed, so no
+// handler can still be appending to the shard.
+func (s *Site) retireShard(c net.Conn) {
+	s.shardsMu.Lock()
+	sh, ok := s.connShards[c]
+	if ok {
+		delete(s.connShards, c)
+		for i, x := range s.shards {
+			if x == sh {
+				s.shards = append(s.shards[:i], s.shards[i+1:]...)
+				break
+			}
+		}
+	}
+	s.shardsMu.Unlock()
+	if !ok {
+		return
+	}
+	sh.mu.Lock()
+	recs := sh.recs
+	sh.recs = nil
+	sh.mu.Unlock()
+	if len(recs) == 0 {
+		return
+	}
+	s.fallback.mu.Lock()
+	s.fallback.recs = append(s.fallback.recs, recs...)
+	s.fallback.mu.Unlock()
 }
 
 // RequestsMatching returns logged requests whose user agent contains the

@@ -217,6 +217,10 @@ func TestLogOrderingDeterministicPerConnection(t *testing.T) {
 		for _, p := range paths {
 			get(t, client, site.URL()+p, "GPTBot/1.0")
 		}
+		if site.LogLen() != len(site.Log()) {
+			t.Fatalf("LogLen = %d, len(Log) = %d; must agree when quiescent",
+				site.LogLen(), len(site.Log()))
+		}
 		return site.Log()
 	}
 	first := capture()
@@ -235,6 +239,41 @@ func TestLogOrderingDeterministicPerConnection(t *testing.T) {
 		if a.Path != b.Path || a.Status != b.Status || a.Bytes != b.Bytes ||
 			a.RemoteIP != b.RemoteIP || a.UserAgent != b.UserAgent {
 			t.Fatalf("replay diverged at record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestLogSurvivesConnectionChurn forces a fresh connection per request
+// (the legacy transport) so every request's shard is retired when its
+// connection closes, and asserts the merged log still holds every record
+// in issue order — retirement must move records, never drop or reorder
+// them.
+func TestLogSurvivesConnectionChurn(t *testing.T) {
+	netsim.SetLegacyPerRequestDial(true)
+	defer netsim.SetLegacyPerRequestDial(false)
+	nw := netsim.New()
+	site, err := Start(nw, WildcardDisallowSite("churn.test", "203.0.113.9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.45")
+	var want []string
+	paths := []string{"/robots.txt", "/", "/about.html", "/gallery.html"}
+	for round := 0; round < 5; round++ {
+		for _, p := range paths {
+			get(t, client, site.URL()+p, "GPTBot/1.0")
+			want = append(want, p)
+		}
+	}
+	log := site.Log()
+	if len(log) != len(want) {
+		t.Fatalf("logged %d records, want %d", len(log), len(want))
+	}
+	for i, rec := range log {
+		if rec.Path != want[i] {
+			t.Fatalf("record %d = %s, want %s (retired shards must preserve order)",
+				i, rec.Path, want[i])
 		}
 	}
 }
