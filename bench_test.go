@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/metatags"
 	"repro/internal/netsim"
+	"repro/internal/policyd"
 	"repro/internal/proxy"
 	"repro/internal/robots"
 	"repro/internal/scenario"
@@ -644,4 +646,114 @@ func buildLargeRobots() string {
 	bld.Group("Googlebot").Disallow(extra...)
 	bld.Sitemap("https://bench.example/sitemap.xml")
 	return bld.String()
+}
+
+// benchPolicySnapshot compiles the bench corpus's final month into a
+// policyd serving index.
+func benchPolicySnapshot(b *testing.B) *policyd.Snapshot {
+	b.Helper()
+	snap, err := policyd.FromCorpus(context.Background(), benchCorpus(b), len(corpus.Snapshots)-1, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+// benchPolicyQueries is a fixed query mix over snapshot hosts.
+func benchPolicyQueries(snap *policyd.Snapshot) []policyd.Query {
+	hosts := snap.Hosts()
+	mix := []string{"GPTBot", "ClaudeBot", "CCBot", "Bytespider", "Googlebot"}
+	paths := []string{"/", "/about.html", "/images/art.png", "/admin/panel", "/gallery/p.jpg"}
+	qs := make([]policyd.Query, 4096)
+	for i := range qs {
+		qs[i] = policyd.Query{
+			Host:  hosts[(i*31)%len(hosts)],
+			Agent: mix[i%len(mix)],
+			Path:  paths[(i/len(mix))%len(paths)],
+		}
+	}
+	return qs
+}
+
+// BenchmarkPolicydDecide measures the single-decision hot path: host
+// and agent in the compiled index, zero allocations per op.
+func BenchmarkPolicydDecide(b *testing.B) {
+	snap := benchPolicySnapshot(b)
+	svc := policyd.NewService(snap)
+	qs := benchPolicyQueries(snap)
+	for _, q := range qs {
+		svc.Decide(q) // warm
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.Decide(qs[i%len(qs)])
+	}
+}
+
+// BenchmarkPolicydDecideBatch measures the batched path with a reused
+// output buffer, the shape cmd/loadgen and the batch API drive.
+func BenchmarkPolicydDecideBatch(b *testing.B) {
+	snap := benchPolicySnapshot(b)
+	svc := policyd.NewService(snap)
+	qs := benchPolicyQueries(snap)[:64]
+	out := make([]policyd.Decision, 0, len(qs))
+	out = svc.DecideBatch(qs, out[:0]) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = svc.DecideBatch(qs, out[:0])
+	}
+	b.ReportMetric(float64(len(qs)), "decisions/op")
+}
+
+// BenchmarkPolicydCompile measures snapshot compilation — the hot-
+// reload cost when a corpus month advances.
+func BenchmarkPolicydCompile(b *testing.B) {
+	c := benchCorpus(b)
+	b.ResetTimer()
+	var hosts int
+	for i := 0; i < b.N; i++ {
+		snap, err := policyd.FromCorpus(context.Background(), c, len(corpus.Snapshots)-1, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hosts = snap.Len()
+	}
+	b.ReportMetric(float64(hosts), "hosts")
+}
+
+// BenchmarkPolicydHTTP measures one decision through the JSON API over
+// netsim — the in-harness serving cost including transport framing.
+func BenchmarkPolicydHTTP(b *testing.B) {
+	snap := benchPolicySnapshot(b)
+	svc := policyd.NewService(snap)
+	nw := netsim.New()
+	ln, err := nw.Listen("203.0.113.220", 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Register("policyd-bench.test", "203.0.113.220")
+	srv := &http.Server{Handler: policyd.NewHandler(svc)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		<-done
+	}()
+	client := nw.HTTPClient("198.51.100.220")
+	hosts := snap.Hosts()
+	url := "http://policyd-bench.test/v1/decide?agent=GPTBot&path=/about.html&host="
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(url + hosts[i%len(hosts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
 }

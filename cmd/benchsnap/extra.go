@@ -6,13 +6,83 @@ package main
 // compiled against older revisions when reconstructing a baseline.
 
 import (
+	"context"
 	"io"
+	"net/http"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/netsim"
+	"repro/internal/policyd"
 	"repro/internal/robots"
 	"repro/internal/webserver"
 )
+
+// snapPolicyService compiles a small corpus snapshot and returns a
+// warmed service plus a query cycle.
+func snapPolicyService(b *testing.B) (*policyd.Service, []policyd.Query) {
+	b.Helper()
+	c, err := corpus.New(context.Background(), corpus.Config{Seed: snapSeed, Scale: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := policyd.FromCorpus(context.Background(), c, len(corpus.Snapshots)-1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := policyd.NewService(snap)
+	hosts := snap.Hosts()
+	mix := []string{"GPTBot", "ClaudeBot", "CCBot", "Bytespider", "Googlebot"}
+	qs := make([]policyd.Query, 2048)
+	for i := range qs {
+		qs[i] = policyd.Query{Host: hosts[(i*31)%len(hosts)], Agent: mix[i%len(mix)], Path: "/about.html"}
+	}
+	for _, q := range qs {
+		svc.Decide(q)
+	}
+	return svc, qs
+}
+
+func init() {
+	register("policyd_decide", func(b *testing.B) {
+		svc, qs := snapPolicyService(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Decide(qs[i%len(qs)])
+		}
+	})
+
+	register("policyd_http", func(b *testing.B) {
+		svc, qs := snapPolicyService(b)
+		nw := netsim.New()
+		ln, err := nw.Listen("203.0.113.213", 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw.Register("snap-policyd.test", "203.0.113.213")
+		srv := &http.Server{Handler: policyd.NewHandler(svc)}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Serve(ln)
+		}()
+		defer func() {
+			srv.Close()
+			<-done
+		}()
+		client := nw.HTTPClient("198.51.100.213")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			resp, err := client.Get("http://snap-policyd.test/v1/decide?agent=" + q.Agent + "&path=/about.html&host=" + q.Host)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}
 
 func init() {
 	register("netsim_http_legacy_dial", func(b *testing.B) {

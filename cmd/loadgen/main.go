@@ -1,0 +1,434 @@
+// Command loadgen drives mixed decision workloads against the policyd
+// service and reports throughput and latency percentiles, proving the
+// serving-layer numbers the way cmd/benchsnap proves the batch ones.
+//
+// By default it compiles a corpus snapshot and hammers the service
+// in-process (the pure engine cost); with -target it speaks the JSON
+// API to a running cmd/policyd over TCP. Hosts are drawn from a zipf
+// popularity distribution over the corpus domains, agents from a
+// configurable mix, and queries are issued singly or in batches.
+//
+//	go run ./cmd/loadgen -scale 0.05 -n 500000
+//	go run ./cmd/loadgen -target http://localhost:8473 -batch 64 -concurrency 4
+//
+// The -o snapshot uses the benchsnap JSON schema, so serving
+// performance lands in the same BENCH_* artifact stream as the batch
+// benchmarks; -min-qps and -max-allocs turn the run into a CI gate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/policyd"
+	"repro/internal/stats"
+)
+
+// result and snapshot mirror cmd/benchsnap's JSON schema so serving
+// snapshots merge into the same artifact stream.
+type result struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type snapshot struct {
+	Schema     string            `json:"schema"`
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+var defaultAgents = "GPTBot,ClaudeBot,CCBot,Bytespider,Googlebot"
+
+func main() {
+	target := flag.String("target", "", "base URL of a running policyd (empty = in-process service)")
+	seed := flag.Int64("seed", stats.DefaultSeed, "corpus seed (must match the target's)")
+	scale := flag.Float64("scale", 0.05, "corpus scale (must match the target's)")
+	snapIdx := flag.Int("snap", len(corpus.Snapshots)-1, "corpus snapshot index (in-process mode)")
+	agentList := flag.String("agents", defaultAgents, "comma-separated agent mix")
+	batch := flag.Int("batch", 1, "queries per call (1 = single-decision API)")
+	total := flag.Int("n", 200_000, "total decisions to issue")
+	concurrency := flag.Int("concurrency", 1, "parallel workload drivers")
+	zipfS := flag.Float64("zipf", 1.1, "zipf skew for host popularity (0 = uniform)")
+	out := flag.String("o", "", "write a benchsnap-format JSON snapshot here")
+	minQPS := flag.Float64("min-qps", 0, "fail unless decisions/sec reaches this")
+	maxAllocs := flag.Int64("max-allocs", -1, "fail if in-process allocs/op exceed this (-1 = no gate)")
+	flag.Parse()
+
+	if err := run(*target, *seed, *scale, *snapIdx, *agentList, *batch, *total,
+		*concurrency, *zipfS, *out, *minQPS, *maxAllocs); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, seed int64, scale float64, snapIdx int, agentList string,
+	batch, total, concurrency int, zipfS float64, out string, minQPS float64, maxAllocs int64) error {
+	if batch < 1 {
+		batch = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	ctx := context.Background()
+
+	c, err := corpus.New(ctx, corpus.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	hosts := make([]string, len(c.Sites()))
+	for i, s := range c.Sites() {
+		hosts[i] = s.Domain
+	}
+	agents := strings.Split(agentList, ",")
+	for i := range agents {
+		agents[i] = strings.TrimSpace(agents[i])
+	}
+
+	var svc *policyd.Service
+	version := "remote"
+	if target == "" {
+		snap, err := policyd.FromCorpus(ctx, c, snapIdx, 0)
+		if err != nil {
+			return err
+		}
+		svc = policyd.NewService(snap)
+		version = snap.Version
+		fmt.Fprintf(os.Stderr, "loadgen: in-process %s\n", snap)
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: driving %s with %d corpus hosts\n", target, len(hosts))
+	}
+
+	pool := buildWorkload(seed, hosts, agents, zipfS, minInt(total, 1<<16))
+	driver := &driver{
+		svc: svc, target: strings.TrimRight(target, "/"),
+		pool: pool, batch: batch,
+	}
+	// Warm the roster/memo paths so the timed run measures steady state.
+	driver.drive(0, minInt(len(pool), 4096), nil)
+
+	// Timed run: each worker walks an offset slice of the cycle so the
+	// union covers the pool, sampling every 16th call's latency.
+	perWorker := total / concurrency
+	type workerOut struct {
+		lat    []time.Duration
+		counts [3]int64
+	}
+	outs := make([]workerOut, concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &outs[w]
+			o.lat = driver.drive(w*perWorker, perWorker, &o.counts)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	var counts [3]int64
+	for _, o := range outs {
+		lats = append(lats, o.lat...)
+		for i := range counts {
+			counts[i] += o.counts[i]
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	issued := perWorker * concurrency
+	qps := float64(issued) / elapsed.Seconds()
+
+	// The zero-allocation contract is measured in-process on the exact
+	// call the hot path serves; remote runs measure the wire, not the
+	// engine, so the gate does not apply there.
+	allocsPerOp := int64(-1)
+	if svc != nil {
+		allocsPerOp = measureAllocs(svc, pool, batch)
+	}
+
+	decided := counts[0] + counts[1] + counts[2]
+	fmt.Fprintf(os.Stderr, "loadgen: %d decisions in %.2fs — %.0f decisions/sec (batch=%d, concurrency=%d)\n",
+		issued, elapsed.Seconds(), qps, batch, concurrency)
+	if len(lats) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: per-call latency p50=%s p90=%s p99=%s max=%s (%d samples)\n",
+			pctile(lats, 0.50), pctile(lats, 0.90), pctile(lats, 0.99), lats[len(lats)-1], len(lats))
+	}
+	if decided > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: decision mix: allow %.1f%% deny %.1f%% block %.1f%%\n",
+			100*float64(counts[0])/float64(decided),
+			100*float64(counts[1])/float64(decided),
+			100*float64(counts[2])/float64(decided))
+	}
+	if allocsPerOp >= 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: allocs/op on the cached hot path: %d\n", allocsPerOp)
+	}
+
+	if out != "" {
+		if err := writeSnapshot(out, version, issued, elapsed, qps, lats, counts, allocsPerOp, batch, concurrency); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
+	}
+	if minQPS > 0 && qps < minQPS {
+		return fmt.Errorf("throughput gate failed: %.0f decisions/sec < required %.0f", qps, minQPS)
+	}
+	if maxAllocs >= 0 && allocsPerOp > maxAllocs {
+		return fmt.Errorf("allocation gate failed: %d allocs/op > allowed %d", allocsPerOp, maxAllocs)
+	}
+	return nil
+}
+
+// buildWorkload pregenerates a query cycle: hosts zipf-ranked by corpus
+// order (top-tier sites first, mirroring real popularity), agents drawn
+// from the mix, paths from a fixed representative set.
+func buildWorkload(seed int64, hosts, agents []string, zipfS float64, n int) []policyd.Query {
+	paths := []string{
+		"/", "/about.html", "/admin/panel", "/images/art.png",
+		"/gallery/2024/piece.jpg", "/blog/post?id=7", "/search?q=x",
+	}
+	rn := stats.NewRand(seed).Fork("loadgen")
+	cum := make([]float64, len(hosts))
+	sum := 0.0
+	for i := range hosts {
+		w := 1.0
+		if zipfS > 0 {
+			w = 1.0 / math.Pow(float64(i+1), zipfS)
+		}
+		sum += w
+		cum[i] = sum
+	}
+	qs := make([]policyd.Query, n)
+	for i := range qs {
+		u := rn.Float64() * sum
+		h := sort.SearchFloat64s(cum, u)
+		if h >= len(hosts) {
+			h = len(hosts) - 1
+		}
+		qs[i] = policyd.Query{
+			Host:  hosts[h],
+			Agent: agents[rn.Intn(len(agents))],
+			Path:  paths[rn.Intn(len(paths))],
+		}
+	}
+	return qs
+}
+
+// driver issues the workload either in-process or over HTTP.
+type driver struct {
+	svc    *policyd.Service
+	target string
+	pool   []policyd.Query
+	batch  int
+
+	clientOnce sync.Once
+	client     *http.Client
+}
+
+// drive issues n decisions starting at pool offset off, returning
+// sampled per-call latencies and accumulating the action mix.
+func (d *driver) drive(off, n int, counts *[3]int64) []time.Duration {
+	const sampleEvery = 16
+	var lats []time.Duration
+	if d.svc != nil {
+		out := make([]policyd.Decision, 0, d.batch)
+		qs := make([]policyd.Query, 0, d.batch)
+		calls := 0
+		for done := 0; done < n; {
+			qs = qs[:0]
+			for len(qs) < d.batch && done+len(qs) < n {
+				qs = append(qs, d.pool[(off+done+len(qs))%len(d.pool)])
+			}
+			sample := calls%sampleEvery == 0
+			var t0 time.Time
+			if sample {
+				t0 = time.Now()
+			}
+			if d.batch == 1 {
+				dec := d.svc.Decide(qs[0])
+				out = append(out[:0], dec)
+			} else {
+				out = d.svc.DecideBatch(qs, out[:0])
+			}
+			if sample {
+				lats = append(lats, time.Since(t0))
+			}
+			if counts != nil {
+				for _, dec := range out {
+					counts[dec.Action]++
+				}
+			}
+			done += len(qs)
+			calls++
+		}
+		return lats
+	}
+
+	d.clientOnce.Do(func() { d.client = &http.Client{Timeout: 30 * time.Second} })
+	calls := 0
+	for done := 0; done < n; {
+		var qs []policyd.Query
+		for len(qs) < d.batch && done+len(qs) < n {
+			qs = append(qs, d.pool[(off+done+len(qs))%len(d.pool)])
+		}
+		t0 := time.Now()
+		decs, err := d.remote(qs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: remote: %v\n", err)
+			os.Exit(1)
+		}
+		if calls%sampleEvery == 0 {
+			lats = append(lats, time.Since(t0))
+		}
+		if counts != nil {
+			for _, dec := range decs {
+				switch dec.Action {
+				case "allow":
+					counts[0]++
+				case "deny":
+					counts[1]++
+				case "block":
+					counts[2]++
+				}
+			}
+		}
+		done += len(qs)
+		calls++
+	}
+	return lats
+}
+
+// remote issues one API call for the query group.
+func (d *driver) remote(qs []policyd.Query) ([]policyd.DecisionJSON, error) {
+	if d.batch == 1 {
+		q := qs[0]
+		u := d.target + "/v1/decide?host=" + url.QueryEscape(q.Host) +
+			"&agent=" + url.QueryEscape(q.Agent) + "&path=" + url.QueryEscape(q.Path)
+		resp, err := d.client.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("decide: %s: %s", resp.Status, body)
+		}
+		var dj policyd.DecisionJSON
+		if err := json.NewDecoder(resp.Body).Decode(&dj); err != nil {
+			return nil, err
+		}
+		return []policyd.DecisionJSON{dj}, nil
+	}
+	body, err := json.Marshal(policyd.BatchRequest{Queries: qs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.client.Post(d.target+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("batch: %s: %s", resp.Status, msg)
+	}
+	var br policyd.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	return br.Decisions, nil
+}
+
+// measureAllocs reports steady-state allocations per call on the warmed
+// in-process path.
+func measureAllocs(svc *policyd.Service, pool []policyd.Query, batch int) int64 {
+	n := minInt(len(pool), 1024)
+	if batch == 1 {
+		i := 0
+		return int64(testing.AllocsPerRun(500, func() {
+			svc.Decide(pool[i%n])
+			i++
+		}))
+	}
+	qs := pool[:minInt(batch, n)]
+	out := make([]policyd.Decision, 0, len(qs))
+	return int64(testing.AllocsPerRun(500, func() {
+		out = svc.DecideBatch(qs, out[:0])
+	}))
+}
+
+func writeSnapshot(path, version string, issued int, elapsed time.Duration, qps float64,
+	lats []time.Duration, counts [3]int64, allocs int64, batch, concurrency int) error {
+	res := result{
+		Iterations: issued,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(issued),
+		Metrics: map[string]float64{
+			"decisions_per_sec": qps,
+			"batch":             float64(batch),
+			"concurrency":       float64(concurrency),
+			"allow":             float64(counts[0]),
+			"deny":              float64(counts[1]),
+			"block":             float64(counts[2]),
+		},
+	}
+	if allocs >= 0 {
+		res.AllocsPerOp = allocs
+	}
+	if len(lats) > 0 {
+		res.Metrics["p50_ns"] = float64(pctile(lats, 0.50).Nanoseconds())
+		res.Metrics["p90_ns"] = float64(pctile(lats, 0.90).Nanoseconds())
+		res.Metrics["p99_ns"] = float64(pctile(lats, 0.99).Nanoseconds())
+	}
+	name := "policyd_loadgen_inproc"
+	if version == "remote" {
+		name = "policyd_loadgen_remote"
+	}
+	snap := snapshot{
+		Schema:     "repro-benchsnap/1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]result{name: res},
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// pctile reads the q-quantile from sorted latencies.
+func pctile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

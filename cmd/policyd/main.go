@@ -1,0 +1,109 @@
+// Command policyd serves the crawl-policy decision service over real
+// TCP: it builds the longitudinal corpus at the requested scale,
+// compiles one snapshot into the internal/policyd index, and answers
+// the JSON API (/v1/decide, /v1/batch, /v1/stats, /healthz).
+//
+//	go run ./cmd/policyd -addr :8473 -scale 0.1 -snap 14
+//	curl 'localhost:8473/v1/decide?host=<domain>&agent=GPTBot&path=/'
+//
+// With -advance the daemon hot-reloads through the corpus snapshots on
+// a timer, demonstrating atomic snapshot swaps under live traffic; pair
+// it with cmd/loadgen to watch the decision mix shift as the simulated
+// months pass.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/policyd"
+	"repro/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", ":8473", "TCP listen address")
+	seed := flag.Int64("seed", stats.DefaultSeed, "corpus seed")
+	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = 40,455 hosts)")
+	snapIdx := flag.Int("snap", len(corpus.Snapshots)-1, "corpus snapshot index to serve (0-14)")
+	advance := flag.Duration("advance", 0, "hot-reload to the next corpus snapshot on this interval (0 = off)")
+	workers := flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "policyd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	c, err := corpus.New(ctx, corpus.Config{Seed: seed, Scale: scale, Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "policyd: corpus ready (%d hosts, %.1fs)\n",
+		len(c.Sites()), time.Since(start).Seconds())
+
+	if snapIdx < 0 || snapIdx >= len(corpus.Snapshots) {
+		snapIdx = len(corpus.Snapshots) - 1
+	}
+	snap, err := policyd.FromCorpus(ctx, c, snapIdx, workers)
+	if err != nil {
+		return err
+	}
+	svc := policyd.NewService(snap)
+	fmt.Fprintf(os.Stderr, "policyd: serving %s on %s\n", snap, addr)
+
+	srv := &http.Server{Addr: addr, Handler: policyd.NewHandler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	if advance > 0 {
+		go func() {
+			ticker := time.NewTicker(advance)
+			defer ticker.Stop()
+			idx := snapIdx
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				idx = (idx + 1) % len(corpus.Snapshots)
+				next, err := policyd.FromCorpus(ctx, c, idx, workers)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "policyd: reload: %v\n", err)
+					continue
+				}
+				svc.Swap(next)
+				fmt.Fprintf(os.Stderr, "policyd: hot-reloaded %s (queries so far: %d)\n",
+					next, svc.Stats().Queries)
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "policyd: served %d decisions from %s; bye\n", st.Queries, st.Version)
+	return nil
+}

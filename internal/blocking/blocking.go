@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/par"
 	"repro/internal/robots"
 	"repro/internal/stats"
 	"repro/internal/useragent"
@@ -371,6 +372,7 @@ func RunSurvey(ctx context.Context, n int, seed int64, workers int, opts Detecto
 	if workers <= 0 {
 		workers = 32
 	}
+	workers = par.Clamp(workers)
 	nw := netsim.New()
 	specs := GeneratePopulation(n, seed)
 	sizeRand := stats.NewRand(seed).Fork("body-sizes")

@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/longitudinal"
 	"repro/internal/measure"
+	"repro/internal/policyd"
 	"repro/internal/proxy"
 	"repro/internal/scenario"
 	"repro/internal/survey"
@@ -159,6 +160,21 @@ func (e *Env) Scenario(ctx context.Context, spec scenario.Spec) (*scenario.Resul
 	key := "scenario/" + spec.CacheKey()
 	return memo(e, key, func() (*scenario.Result, error) {
 		return scenario.Run(ctx, spec, e.Config.EffectiveWorkers())
+	})
+}
+
+// PolicySnapshot returns the compiled policyd serving index for one
+// corpus snapshot, built over the shared corpus and memoized per
+// (seed, scale, snapshot) — hot-reload experiments that swap between
+// months compile each month once per engine run.
+func (e *Env) PolicySnapshot(ctx context.Context, snap int) (*policyd.Snapshot, error) {
+	key := fmt.Sprintf("policyd/%d/%g/%d", e.Config.Seed, e.Config.Scale, snap)
+	return memo(e, key, func() (*policyd.Snapshot, error) {
+		c, err := e.Corpus(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return policyd.FromCorpus(ctx, c, snap, e.Config.Workers)
 	})
 }
 

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"cloudflare-greybox", "figure7", "robots-lint",
 		"ablation-parsers", "ablation-detector", "maintenance-gap",
 		"scenario-baseline", "scenario-adoption", "scenario-rogue",
-		"scenario-manager",
+		"scenario-manager", "policy-service-throughput",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -393,7 +393,7 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		if _, _, err := cr.FetchOne(ctx, site.URL()+"/about.html"); err != nil {
 			return nil, err
 		}
-		verdicts := Classify(site.Log()[before:])
+		verdicts := Classify(site.LogSince(before))
 		res.BuiltinVerdicts[b.name] = verdicts[b.token]
 	}
 
@@ -428,7 +428,7 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		if _, _, err := cr.FetchOne(ctx, site.URL()+"/gallery.html"); err != nil {
 			return nil, err
 		}
-		for _, rec := range site.Log()[before:] {
+		for _, rec := range site.LogSince(before) {
 			observations = append(observations, observation{backend: tp.Backend, ip: rec.RemoteIP})
 		}
 		res.AppsProbed++
@@ -459,7 +459,7 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 				probe.Close()
 				return nil, err
 			}
-			windows = append(windows, evidenceOf(probe.Log()[before:]))
+			windows = append(windows, evidenceOf(probe.LogSince(before)))
 		}
 		v := combineTriggers(windows)
 		res.ThirdPartyVerdicts[tp.Backend] = v

@@ -7,6 +7,7 @@ package par
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -19,16 +20,34 @@ const shardsPerWorker = 4
 // executing inline (workers <= 1).
 const inlineShard = 1024
 
+// Clamp bounds a worker count by GOMAXPROCS: the pools in this
+// repository are CPU-bound (in-memory networks, parsing, sampling), so
+// goroutines beyond the core count only add scheduling overhead — on a
+// 1-CPU runner, workers>1 used to be strictly slower than inline
+// execution. Results never depend on worker counts, so clamping is
+// always safe. Non-positive counts clamp to 1.
+func Clamp(workers int) int {
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // Do runs fn over [0, n) split into contiguous [start, end) shards.
-// With workers <= 1 the shards run inline on the calling goroutine;
-// otherwise they are distributed over a bounded pool. Cancellation is
-// checked between shards: Do returns ctx.Err() as soon as it is observed,
-// without waiting for the remaining shards to be claimed. fn must be safe
-// to call concurrently on disjoint shards.
+// With workers <= 1 (after the GOMAXPROCS clamp) the shards run inline
+// on the calling goroutine; otherwise they are distributed over a
+// bounded pool. Cancellation is checked between shards: Do returns
+// ctx.Err() as soon as it is observed, without waiting for the
+// remaining shards to be claimed. fn must be safe to call concurrently
+// on disjoint shards.
 func Do(ctx context.Context, workers, n int, fn func(start, end int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	workers = Clamp(workers)
 	if workers > n {
 		workers = n
 	}

@@ -2,6 +2,7 @@ package par
 
 import (
 	"context"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -56,5 +57,43 @@ func TestDoPreCancelled(t *testing.T) {
 	err := Do(ctx, 1, 10, func(int, int) { t.Fatal("fn called on cancelled ctx") })
 	if err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	if got := Clamp(8); got != 1 {
+		t.Errorf("Clamp(8) on 1 CPU = %d, want 1", got)
+	}
+	if got := Clamp(0); got != 1 {
+		t.Errorf("Clamp(0) = %d, want 1", got)
+	}
+	runtime.GOMAXPROCS(old)
+	if got := Clamp(1); got != 1 {
+		t.Errorf("Clamp(1) = %d, want 1", got)
+	}
+	if old > 1 {
+		if got := Clamp(old + 5); got != old {
+			t.Errorf("Clamp(%d) = %d, want %d", old+5, got, old)
+		}
+	}
+
+	// Do must still cover the range exactly once when clamped to inline.
+	runtime.GOMAXPROCS(1)
+	seen := make([]int, 5000)
+	if err := Do(context.Background(), 8, len(seen), func(start, end int) {
+		for i := start; i < end; i++ {
+			seen[i]++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d visited %d times", i, n)
+		}
 	}
 }

@@ -1,0 +1,419 @@
+package policyd
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/agents"
+	"repro/internal/aitxt"
+	"repro/internal/metatags"
+	"repro/internal/par"
+	"repro/internal/robots"
+)
+
+// DefaultShards is the shard count used when a Builder does not specify
+// one. Shards bound per-map size and let snapshot compilation fan out;
+// lookups are lock-free either way because snapshots are immutable.
+const DefaultShards = 64
+
+// HostConfig is the raw policy surface of one host, as a crawler (or a
+// measurement pipeline) would observe it on the wire.
+type HostConfig struct {
+	// RobotsTxt is the robots.txt body; "" means the host serves none.
+	RobotsTxt string
+	// AITxt is the ai.txt body; "" means none.
+	AITxt string
+	// MetaHTML is homepage markup scanned for robots meta directives
+	// (noai / noimageai); "" means none.
+	MetaHTML string
+	// Blocklist holds user-agent substrings the host actively blocks;
+	// nil means no active blocking.
+	Blocklist []string
+}
+
+// hostPolicy is a host's compiled, query-ready form.
+type hostPolicy struct {
+	robots *robots.Robots
+	// access precomputes the robots view per roster agent (indexed by
+	// Snapshot.agentIDs), so roster queries never touch the Robots
+	// value's internal memo.
+	access []robots.Access
+	ai     *aiPolicy
+	meta   metaPolicy
+	// blockPatterns is nil when the host does not block; blocked
+	// precomputes the roster verdicts.
+	blockPatterns []string
+	blocked       []bool
+
+	src HostConfig
+}
+
+// shard is one immutable partition of the host index.
+type shard struct {
+	hosts map[string]*hostPolicy
+}
+
+// Snapshot is an immutable compiled policy index. Build one with a
+// Builder (or FromCorpus) and serve it through a Service; all methods
+// are safe for unlimited concurrent use.
+type Snapshot struct {
+	// Version labels the snapshot in stats output ("2024-42", …).
+	Version string
+
+	shards   []shard
+	mask     uint32
+	hosts    int
+	agentIDs map[string]int
+	roster   []string
+}
+
+// lookup returns the compiled policy for host, folding case on a slow
+// path, or nil when the host is not in the snapshot.
+func (sn *Snapshot) lookup(host string) *hostPolicy {
+	host = foldHost(host)
+	sh := &sn.shards[fnv1a(host)&sn.mask]
+	return sh.hosts[host]
+}
+
+// Hosts returns the snapshot's host names, sorted.
+func (sn *Snapshot) Hosts() []string {
+	out := make([]string, 0, sn.hosts)
+	for i := range sn.shards {
+		for h := range sn.shards[i].hosts {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of indexed hosts.
+func (sn *Snapshot) Len() int { return sn.hosts }
+
+// Roster returns the agent roster the snapshot precompiled.
+func (sn *Snapshot) Roster() []string { return append([]string(nil), sn.roster...) }
+
+// Source returns the raw policy surface the host was compiled from,
+// for introspection and parity testing.
+func (sn *Snapshot) Source(host string) (HostConfig, bool) {
+	hp := sn.lookup(host)
+	if hp == nil {
+		return HostConfig{}, false
+	}
+	return hp.src, true
+}
+
+// fnv1a hashes a host name without allocating.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// DefaultRoster is the agent set snapshots precompile when the builder
+// is not given one: every Table 1 product token plus the traditional
+// search crawler and a browser token, so both AI and non-AI queries hit
+// the allocation-free path.
+func DefaultRoster() []string {
+	return append(agents.Tokens(), "Googlebot", "Mozilla")
+}
+
+// Builder stages hosts and compiles them into a Snapshot. Add every
+// host, then call Build once; builders are not safe for concurrent use
+// and must not be reused after Build.
+type Builder struct {
+	// Shards is the shard count, rounded up to a power of two; 0 means
+	// DefaultShards.
+	Shards int
+	// Roster lists the agents to precompile per host; nil means
+	// DefaultRoster. Queries for agents outside the roster are still
+	// answered correctly, just through the allocating slow path.
+	Roster []string
+
+	hosts   []string
+	configs []HostConfig
+}
+
+// Add stages one host. Later Adds of the same host win.
+func (b *Builder) Add(host string, cfg HostConfig) {
+	b.hosts = append(b.hosts, foldHost(host))
+	b.configs = append(b.configs, cfg)
+}
+
+// Build compiles the staged hosts on a workers-bounded pool (0 means
+// GOMAXPROCS) into an immutable snapshot. robots.txt bodies parse
+// through the shared content-keyed cache, so repeated templates compile
+// once; per-host compilation is independent and runs sharded.
+func (b *Builder) Build(ctx context.Context, version string, workers int) (*Snapshot, error) {
+	roster := b.Roster
+	if roster == nil {
+		roster = DefaultRoster()
+	}
+	nShards := b.Shards
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	pow := 1
+	for pow < nShards {
+		pow *= 2
+	}
+	sn := &Snapshot{
+		Version:  version,
+		shards:   make([]shard, pow),
+		mask:     uint32(pow - 1),
+		agentIDs: make(map[string]int, len(roster)),
+		roster:   append([]string(nil), roster...),
+	}
+	for i := range sn.shards {
+		sn.shards[i].hosts = make(map[string]*hostPolicy)
+	}
+	for i, a := range roster {
+		sn.agentIDs[a] = i
+	}
+
+	compiled := make([]*hostPolicy, len(b.hosts))
+	if err := par.Do(ctx, workers, len(b.hosts), func(start, end int) {
+		for i := start; i < end; i++ {
+			compiled[i] = compileHost(b.configs[i], roster)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	for i, host := range b.hosts {
+		sh := &sn.shards[fnv1a(host)&sn.mask]
+		if _, dup := sh.hosts[host]; !dup {
+			sn.hosts++
+		}
+		sh.hosts[host] = compiled[i]
+	}
+	return sn, nil
+}
+
+// compileHost turns one host's raw policy surface into its query form.
+func compileHost(cfg HostConfig, roster []string) *hostPolicy {
+	hp := &hostPolicy{src: cfg}
+	if cfg.RobotsTxt != "" {
+		hp.robots = robots.ParseCached(cfg.RobotsTxt)
+		hp.access = make([]robots.Access, len(roster))
+		for i, a := range roster {
+			hp.access[i] = hp.robots.Agent(a)
+		}
+	}
+	if cfg.AITxt != "" {
+		hp.ai = compileAIPolicy(aitxt.ParseString(cfg.AITxt))
+	}
+	if cfg.MetaHTML != "" {
+		d := metatags.Scan(cfg.MetaHTML)
+		hp.meta = metaPolicy{noAI: d.NoAI, noImageAI: d.NoImageAI}
+	}
+	if cfg.Blocklist != nil {
+		hp.blockPatterns = cfg.Blocklist
+		hp.blocked = make([]bool, len(roster))
+		for i, a := range roster {
+			hp.blocked[i] = matchesAnyFold(a, cfg.Blocklist)
+		}
+	}
+	return hp
+}
+
+// metaPolicy is the compiled form of a page's robots meta directives.
+type metaPolicy struct {
+	noAI      bool
+	noImageAI bool
+}
+
+// denies reports whether the directives deny AI use of the path: noai
+// denies everything, noimageai denies image resources (the same
+// classification ai.txt applies).
+func (m metaPolicy) denies(path string) bool {
+	if m.noAI {
+		return true
+	}
+	return m.noImageAI && mediaOfPath(path) == aitxt.MediaImage
+}
+
+// aiPolicy is the compiled, allocation-free form of an ai.txt file. It
+// mirrors aitxt.Policy.Permitted exactly: path patterns beat media
+// defaults, the longest (raw-length) matching pattern wins, allow wins
+// ties, and absent media types default to permitted.
+type aiPolicy struct {
+	rules []aiRule
+	// media holds per-type tri-state permissions indexed by mediaIndex:
+	// -1 unset, 0 denied, 1 permitted.
+	media [nMediaTypes]int8
+}
+
+type aiRule struct {
+	// pat is the match pattern: for suffix rules the ".ext" suffix, for
+	// anchored rules the pattern with '$' stripped, otherwise verbatim.
+	pat string
+	// rawLen is the original pattern's length, the specificity metric
+	// aitxt uses for precedence.
+	rawLen   int
+	suffix   bool
+	anchored bool
+	allow    bool
+}
+
+const nMediaTypes = 5
+
+// mediaOrder fixes the media-type indexing of aiPolicy.media.
+var mediaOrder = [nMediaTypes]aitxt.MediaType{
+	aitxt.MediaText, aitxt.MediaImage, aitxt.MediaAudio, aitxt.MediaVideo, aitxt.MediaCode,
+}
+
+func mediaIndex(mt aitxt.MediaType) int {
+	for i, m := range mediaOrder {
+		if m == mt {
+			return i
+		}
+	}
+	return 0 // aitxt defaults unknown paths to text
+}
+
+// compileAIPolicy flattens a parsed policy. Disallow patterns compile
+// before allow patterns, preserving Permitted's evaluation order.
+func compileAIPolicy(p *aitxt.Policy) *aiPolicy {
+	out := &aiPolicy{}
+	for i := range out.media {
+		out.media[i] = -1
+	}
+	for mt, allowed := range p.Media {
+		v := int8(0)
+		if allowed {
+			v = 1
+		}
+		out.media[mediaIndex(mt)] = v
+	}
+	add := func(pats []string, allow bool) {
+		for _, pat := range pats {
+			if pat == "" {
+				continue
+			}
+			r := aiRule{rawLen: len(pat), allow: allow}
+			switch {
+			case len(pat) >= 2 && pat[0] == '*' && pat[1] == '.':
+				r.suffix = true
+				r.pat = pat[1:]
+			case pat[len(pat)-1] == '$':
+				r.anchored = true
+				r.pat = pat[:len(pat)-1]
+			default:
+				r.pat = pat
+			}
+			out.rules = append(out.rules, r)
+		}
+	}
+	add(p.DisallowPatterns, false)
+	add(p.AllowPatterns, true)
+	return out
+}
+
+// permitted reports whether AI use of path is allowed, with
+// aitxt.Policy.Permitted's exact semantics but no allocations.
+func (p *aiPolicy) permitted(path string) bool {
+	bestLen := -1
+	permitted := true
+	for _, r := range p.rules {
+		if !r.match(path) {
+			continue
+		}
+		switch {
+		case r.rawLen > bestLen:
+			bestLen = r.rawLen
+			permitted = r.allow
+		case r.rawLen == bestLen && r.allow:
+			permitted = true
+		}
+	}
+	if bestLen >= 0 {
+		return permitted
+	}
+	if v := p.media[mediaIndex(mediaOfPath(path))]; v >= 0 {
+		return v == 1
+	}
+	return true
+}
+
+func (r aiRule) match(path string) bool {
+	if r.suffix {
+		n := len(r.pat)
+		return len(path) >= n && equalFoldAt(path, len(path)-n, r.pat)
+	}
+	return wildcardMatch(r.pat, path, r.anchored)
+}
+
+// wildcardMatch reports whether pattern (with '*' wildcards) matches
+// path, greedily with backtracking; when anchored is false the pattern
+// carries an implicit trailing '*'. Same routine as the robots.txt
+// matcher, duplicated here because patterns were pre-split differently.
+func wildcardMatch(pattern, path string, anchored bool) bool {
+	var p, s, starP, starS int
+	starP, starS = -1, -1
+	for s < len(path) {
+		if !anchored && p == len(pattern) {
+			return true
+		}
+		switch {
+		case p < len(pattern) && pattern[p] == '*':
+			starP, starS = p, s
+			p++
+		case p < len(pattern) && pattern[p] == path[s]:
+			p++
+			s++
+		case starP >= 0:
+			starS++
+			s = starS
+			p = starP + 1
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// mediaOfPath mirrors aitxt.MediaOf without allocating: classify by
+// extension, defaulting to text.
+func mediaOfPath(path string) aitxt.MediaType {
+	i := len(path) - 1
+	for i >= 0 && path[i] != '.' && path[i] != '/' {
+		i--
+	}
+	if i < 0 || path[i] != '.' {
+		return aitxt.MediaText
+	}
+	ext := path[i:]
+	for _, e := range mediaExts {
+		if len(ext) == len(e.ext) && equalFoldAt(ext, 0, e.ext) {
+			return e.mt
+		}
+	}
+	return aitxt.MediaText
+}
+
+// mediaExts mirrors the aitxt extension tables.
+var mediaExts = []struct {
+	ext string
+	mt  aitxt.MediaType
+}{
+	{".txt", aitxt.MediaText}, {".html", aitxt.MediaText}, {".htm", aitxt.MediaText},
+	{".md", aitxt.MediaText}, {".pdf", aitxt.MediaText},
+	{".jpg", aitxt.MediaImage}, {".jpeg", aitxt.MediaImage}, {".png", aitxt.MediaImage},
+	{".gif", aitxt.MediaImage}, {".webp", aitxt.MediaImage}, {".svg", aitxt.MediaImage},
+	{".mp3", aitxt.MediaAudio}, {".wav", aitxt.MediaAudio}, {".flac", aitxt.MediaAudio},
+	{".mp4", aitxt.MediaVideo}, {".webm", aitxt.MediaVideo}, {".mov", aitxt.MediaVideo},
+	{".js", aitxt.MediaCode}, {".py", aitxt.MediaCode}, {".go", aitxt.MediaCode},
+	{".c", aitxt.MediaCode},
+}
+
+// String renders a compact identity for logs.
+func (sn *Snapshot) String() string {
+	return fmt.Sprintf("policyd.Snapshot{%s: %d hosts, %d shards}", sn.Version, sn.hosts, len(sn.shards))
+}

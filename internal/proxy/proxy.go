@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/agents"
 	"repro/internal/netsim"
+	"repro/internal/par"
 	"repro/internal/robots"
 	"repro/internal/stats"
 	"repro/internal/useragent"
@@ -487,6 +488,7 @@ func RunInferenceSurvey(ctx context.Context, n int, seed int64, workers int) (*C
 	if workers <= 0 {
 		workers = 32
 	}
+	workers = par.Clamp(workers)
 	nw := netsim.New()
 	specs := GenerateCFPopulation(n, seed)
 	sites := make([]*webserver.Site, 0, n)

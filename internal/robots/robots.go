@@ -172,12 +172,26 @@ func ParseStringProfile(s string, p Profile) *Robots {
 	return rb
 }
 
+// scanBufPool recycles scanner buffers across parses: the 64 KiB
+// initial buffer dominated the uncached parse's allocation profile
+// (~68 KB/parse), and corpus construction parses tens of thousands of
+// distinct bodies. Scanner tokens are copied out via Text() before the
+// buffer returns to the pool.
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64*1024)
+		return &b
+	},
+}
+
 // ParseProfile reads a robots.txt body under the given semantics profile.
 func ParseProfile(r io.Reader, p Profile) (*Robots, error) {
 	rb := &Robots{profile: p}
 	limited := &io.LimitedReader{R: r, N: MaxSize + 1}
 	scanner := bufio.NewScanner(limited)
-	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	bufp := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(bufp)
+	scanner.Buffer(*bufp, 1024*1024)
 	scanner.Split(scanLines)
 
 	var (
@@ -185,9 +199,23 @@ func ParseProfile(r io.Reader, p Profile) (*Robots, error) {
 		cur          *Group // group currently being built, nil if none
 		lastWasAgent bool   // previous meaningful line was a User-agent line
 		groupClosed  bool   // rules may no longer attach (buggy profiles)
+
+		// ruleArena accumulates every group's rules contiguously; each
+		// flushed group receives a capped sub-slice. One growing backing
+		// array replaces the per-group append chains that otherwise
+		// dominate rule allocation.
+		ruleArena []Rule
+		ruleStart int
 	)
 	flush := func() {
 		if cur != nil {
+			if n := len(ruleArena) - ruleStart; n > 0 {
+				cur.Rules = ruleArena[ruleStart:len(ruleArena):len(ruleArena)]
+			}
+			ruleStart = len(ruleArena)
+			if rb.Groups == nil {
+				rb.Groups = make([]Group, 0, 8)
+			}
 			rb.Groups = append(rb.Groups, *cur)
 			cur = nil
 		}
@@ -247,7 +275,10 @@ func ParseProfile(r io.Reader, p Profile) (*Robots, error) {
 			if value != "" && value[0] != '/' && value[0] != '*' && value[0] != '$' {
 				rb.warn(lineNo, WarnPathNotAbsolute, value)
 			}
-			cur.Rules = append(cur.Rules, Rule{
+			if ruleArena == nil {
+				ruleArena = make([]Rule, 0, 8)
+			}
+			ruleArena = append(ruleArena, Rule{
 				Allow: canon == keyAllow,
 				Path:  value,
 				Line:  lineNo,

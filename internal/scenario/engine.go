@@ -380,12 +380,14 @@ func (s *siteSim) scheduleVisit(ctx context.Context, cr *crawler.Crawler, cs Cra
 }
 
 // flush analyzes the month's log window — the ground truth — and records
-// the month's metrics.
+// the month's metrics. The window is an incremental LogSince view, so a
+// flush costs O(month's traffic) instead of re-merging the site's whole
+// history every month.
 func (s *siteSim) flush(month int, now time.Time) {
 	mm := &s.months[month]
-	log := s.site.Log()
-	window := log[s.logMark:]
-	s.logMark = len(log)
+	mark := s.site.LogLen()
+	window := s.site.LogSince(s.logMark)
+	s.logMark = mark
 
 	// Per-token evidence for this month's window. A token is classified
 	// against sites whose policy restricts it — the same frame as the

@@ -239,15 +239,35 @@ func (s *Site) handle(w http.ResponseWriter, r *http.Request) {
 // appear exactly in issue order, the contract the measurement windowing
 // relies on.
 func (s *Site) Log() []Record {
+	return s.LogSince(0)
+}
+
+// LogSince returns the requests logged since mark — a LogLen value
+// captured earlier — in global arrival order. Every shard keeps its
+// records sequence-sorted (appends are monotonic and retirement merges
+// preserve order), so the window is located by binary search per shard
+// and the cost is O(window), not O(total log): the incremental view
+// monthly flush loops and measurement windows rely on.
+//
+// Like LogLen, the boundary is exact in quiescent states; a request in
+// flight at the mark may land on either side.
+func (s *Site) LogSince(mark int) []Record {
+	// Hold shardsMu for the whole collection: shard retirement moves
+	// records between shards under the same lock, so a reader can never
+	// observe the post-drain shard with the pre-merge fallback and lose
+	// a window's records. Handlers only touch their own shard's mutex
+	// and are not blocked.
 	s.shardsMu.Lock()
-	shards := append([]*logShard(nil), s.shards...)
-	s.shardsMu.Unlock()
+	seqMark := uint64(mark)
 	var all []seqRecord
-	for _, sh := range shards {
+	for _, sh := range s.shards {
 		sh.mu.Lock()
-		all = append(all, sh.recs...)
+		recs := sh.recs
+		i := sort.Search(len(recs), func(i int) bool { return recs[i].seq >= seqMark })
+		all = append(all, recs[i:]...)
 		sh.mu.Unlock()
 	}
+	s.shardsMu.Unlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
 	out := make([]Record, len(all))
 	for i, sr := range all {
@@ -267,22 +287,22 @@ func (s *Site) LogLen() int {
 // shard and drops the shard, so the shard list tracks live connections
 // instead of growing with every connection the site ever served. The
 // serve loop has exited by the time ConnState reports StateClosed, so no
-// handler can still be appending to the shard.
+// handler can still be appending to the shard. The whole move happens
+// under shardsMu so LogSince (which reads under the same lock) can
+// never see the drained shard alongside the pre-merge fallback.
 func (s *Site) retireShard(c net.Conn) {
 	s.shardsMu.Lock()
+	defer s.shardsMu.Unlock()
 	sh, ok := s.connShards[c]
-	if ok {
-		delete(s.connShards, c)
-		for i, x := range s.shards {
-			if x == sh {
-				s.shards = append(s.shards[:i], s.shards[i+1:]...)
-				break
-			}
-		}
-	}
-	s.shardsMu.Unlock()
 	if !ok {
 		return
+	}
+	delete(s.connShards, c)
+	for i, x := range s.shards {
+		if x == sh {
+			s.shards = append(s.shards[:i], s.shards[i+1:]...)
+			break
+		}
 	}
 	sh.mu.Lock()
 	recs := sh.recs
@@ -291,9 +311,40 @@ func (s *Site) retireShard(c net.Conn) {
 	if len(recs) == 0 {
 		return
 	}
+	// Merge by sequence so the fallback shard stays sorted: LogSince
+	// binary-searches every shard, and a retired connection's records can
+	// interleave with those of connections retired earlier. Direct
+	// fallback appends keep the invariant for free — a fresh record's
+	// sequence exceeds every previously assigned one.
 	s.fallback.mu.Lock()
-	s.fallback.recs = append(s.fallback.recs, recs...)
+	s.fallback.recs = mergeBySeq(s.fallback.recs, recs)
 	s.fallback.mu.Unlock()
+}
+
+// mergeBySeq merges two sequence-sorted record slices.
+func mergeBySeq(a, b []seqRecord) []seqRecord {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	if a[len(a)-1].seq < b[0].seq {
+		return append(a, b...)
+	}
+	out := make([]seqRecord, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].seq <= b[j].seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // RequestsMatching returns logged requests whose user agent contains the

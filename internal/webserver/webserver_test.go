@@ -340,3 +340,89 @@ func newTestNetwork(t *testing.T) *netsim.Network {
 	t.Helper()
 	return netsim.New()
 }
+
+// TestLogSinceIncrementalWindows checks the O(window) view against the
+// full merged log: every (mark, now) window must equal the same slice
+// of Log(), including across connection churn that retires shards into
+// the sorted fallback.
+func TestLogSinceIncrementalWindows(t *testing.T) {
+	netsim.SetLegacyPerRequestDial(true)
+	defer netsim.SetLegacyPerRequestDial(false)
+	nw := netsim.New()
+	site, err := Start(nw, WildcardDisallowSite("since.test", "203.0.113.12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+	client := nw.HTTPClient("198.51.100.70")
+
+	paths := []string{"/robots.txt", "/", "/about.html", "/gallery.html"}
+	mark := site.LogLen()
+	if mark != 0 {
+		t.Fatalf("fresh site LogLen = %d", mark)
+	}
+	var allWindows []Record
+	for round := 0; round < 6; round++ {
+		for i := 0; i <= round%len(paths); i++ {
+			get(t, client, site.URL()+paths[i], "GPTBot/1.0")
+		}
+		next := site.LogLen()
+		window := site.LogSince(mark)
+		if len(window) != next-mark {
+			t.Fatalf("round %d: window has %d records, want %d", round, len(window), next-mark)
+		}
+		allWindows = append(allWindows, window...)
+		mark = next
+	}
+	full := site.Log()
+	if len(full) != len(allWindows) {
+		t.Fatalf("windows cover %d records, full log has %d", len(allWindows), len(full))
+	}
+	for i := range full {
+		if full[i] != allWindows[i] {
+			t.Fatalf("record %d: window view %+v != log view %+v", i, allWindows[i], full[i])
+		}
+	}
+	if tail := site.LogSince(site.LogLen()); len(tail) != 0 {
+		t.Fatalf("LogSince(now) returned %d records, want 0", len(tail))
+	}
+}
+
+// TestLogSinceAcrossConcurrentClients checks that a LogSince window
+// taken after concurrent traffic equals the suffix of the full log.
+func TestLogSinceAcrossConcurrentClients(t *testing.T) {
+	nw := netsim.New()
+	site, err := Start(nw, WildcardDisallowSite("since2.test", "203.0.113.13"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	hammer := func(clients int) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				client := nw.HTTPClient(fmt.Sprintf("198.51.100.%d", 80+c))
+				for i := 0; i < 5; i++ {
+					get(t, client, site.URL()+"/about.html", fmt.Sprintf("SinceBot-%d/1.0", c))
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	hammer(4)
+	mark := site.LogLen()
+	hammer(6)
+	window := site.LogSince(mark)
+	full := site.Log()
+	if len(window) != len(full)-mark {
+		t.Fatalf("window %d records, want %d", len(window), len(full)-mark)
+	}
+	for i, rec := range window {
+		if rec != full[mark+i] {
+			t.Fatalf("window[%d] = %+v, want %+v", i, rec, full[mark+i])
+		}
+	}
+}
