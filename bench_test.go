@@ -548,11 +548,15 @@ func BenchmarkScenarioEngine(b *testing.B) {
 // drained body is what lets the transport pool the connection).
 func BenchmarkNetsimHTTP(b *testing.B) {
 	nw := netsim.New()
-	site, err := webserver.Start(nw, webserver.WildcardDisallowSite("bench.test", "203.0.113.200"))
+	farm, err := webserver.NewFarm(nw, "203.0.113.240")
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer site.Close()
+	defer farm.Close()
+	site, err := farm.StartSite(webserver.WildcardDisallowSite("bench.test", "203.0.113.200"))
+	if err != nil {
+		b.Fatal(err)
+	}
 	client := nw.HTTPClient("198.51.100.250")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -590,18 +594,59 @@ func BenchmarkNetsimHTTPLegacyDial(b *testing.B) {
 	}
 }
 
+// BenchmarkFarmSiteStartup measures the cost of standing up (and
+// tearing down) one survey site — the operation the blocking/proxy
+// surveys repeat thousands of times per run. Farm hosting turns the
+// per-site listener + accept loop + http.Server of the legacy path into
+// a map insert plus an IP alias.
+func BenchmarkFarmSiteStartup(b *testing.B) {
+	for _, legacy := range []bool{false, true} {
+		name := "farm"
+		if legacy {
+			name = "legacy"
+		}
+		b.Run(name, func(b *testing.B) {
+			webserver.SetLegacyPerSiteHosting(legacy)
+			defer webserver.SetLegacyPerSiteHosting(false)
+			nw := netsim.New()
+			farm, err := webserver.NewFarm(nw, "203.0.113.240")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer farm.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				site, err := farm.StartSite(webserver.Config{
+					Domain: "startup.test", IP: "203.0.113.203",
+					Pages: webserver.ContentPages("startup.test"),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := site.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCrawlerSiteCrawl measures one full compliant crawl of the
 // measurement site.
 func BenchmarkCrawlerSiteCrawl(b *testing.B) {
 	nw := netsim.New()
-	site, err := webserver.Start(nw, webserver.Config{
+	farm, err := webserver.NewFarm(nw, "203.0.113.240")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer farm.Close()
+	site, err := farm.StartSite(webserver.Config{
 		Domain: "crawlbench.test", IP: "203.0.113.201",
 		Pages: webserver.ContentPages("crawlbench.test"),
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer site.Close()
 	cr, err := crawler.New(nw, crawler.Profile{
 		Token: "GPTBot", SourceIP: "24.0.1.99", Behavior: crawler.Compliant,
 	})

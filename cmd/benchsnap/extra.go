@@ -18,6 +18,32 @@ import (
 	"repro/internal/webserver"
 )
 
+// benchSiteStartup measures one site start/stop cycle under either
+// hosting mode.
+func benchSiteStartup(b *testing.B, legacy bool) {
+	webserver.SetLegacyPerSiteHosting(legacy)
+	defer webserver.SetLegacyPerSiteHosting(false)
+	nw := netsim.New()
+	farm, err := webserver.NewFarm(nw, "203.0.113.240")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer farm.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site, err := farm.StartSite(webserver.Config{
+			Domain: "snap-startup.test", IP: "203.0.113.214",
+			Pages: webserver.ContentPages("snap-startup.test"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := site.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // snapPolicyService compiles a small corpus snapshot and returns a
 // warmed service plus a query cycle.
 func snapPolicyService(b *testing.B) (*policyd.Service, []policyd.Query) {
@@ -104,6 +130,16 @@ func init() {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
+	})
+
+	// farm_site_startup vs legacy_site_startup isolates the hosting
+	// redesign's unit saving: registering one site with the shared-
+	// listener farm against standing up a dedicated per-site server.
+	register("farm_site_startup", func(b *testing.B) {
+		benchSiteStartup(b, false)
+	})
+	register("legacy_site_startup", func(b *testing.B) {
+		benchSiteStartup(b, true)
 	})
 
 	register("robots_parse_cached", func(b *testing.B) {

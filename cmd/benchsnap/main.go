@@ -62,8 +62,10 @@ type entry struct {
 
 // registry holds the suite in execution order. Entries that exercise
 // APIs introduced alongside this tool register themselves from extra.go;
-// everything in this file runs against any revision of the repo, which
-// is what makes before/after snapshots from the same tool comparable.
+// everything in this file exercises the repo's current production paths
+// (hosting moved from per-site webserver.Start to the shared-listener
+// webserver.Farm, and these entries moved with it), so snapshots track
+// what the experiments actually run.
 var registry []entry
 
 func register(name string, fn func(b *testing.B)) {
@@ -73,11 +75,15 @@ func register(name string, fn func(b *testing.B)) {
 func init() {
 	register("netsim_http", func(b *testing.B) {
 		nw := netsim.New()
-		site, err := webserver.Start(nw, webserver.WildcardDisallowSite("snap.test", "203.0.113.210"))
+		farm, err := webserver.NewFarm(nw, "203.0.113.240")
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer site.Close()
+		defer farm.Close()
+		site, err := farm.StartSite(webserver.WildcardDisallowSite("snap.test", "203.0.113.210"))
+		if err != nil {
+			b.Fatal(err)
+		}
 		client := nw.HTTPClient("198.51.100.210")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -92,14 +98,18 @@ func init() {
 
 	register("crawler_site_crawl", func(b *testing.B) {
 		nw := netsim.New()
-		site, err := webserver.Start(nw, webserver.Config{
+		farm, err := webserver.NewFarm(nw, "203.0.113.240")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer farm.Close()
+		site, err := farm.StartSite(webserver.Config{
 			Domain: "snapcrawl.test", IP: "203.0.113.211",
 			Pages: webserver.ContentPages("snapcrawl.test"),
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer site.Close()
 		cr, err := crawler.New(nw, crawler.Profile{
 			Token: "GPTBot", SourceIP: "24.0.1.98", Behavior: crawler.Compliant,
 		})
@@ -194,6 +204,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "previous snapshot to embed for before/after comparison")
 	benchFilter := flag.String("bench", "", "regexp filtering benchmark names (empty = all)")
 	count := flag.Int("count", 1, "runs per benchmark; the fastest (min ns/op) run is recorded to damp machine noise")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit 1 if any benchmark's ns/op regresses by more than this fraction (e.g. 0.10 = 10%); 0 disables the gate")
 	flag.Parse()
 	if *count < 1 {
 		*count = 1
@@ -244,6 +255,7 @@ func main() {
 			e.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
 
+	var regressions []string
 	if *baselinePath != "" {
 		data, err := os.ReadFile(*baselinePath)
 		if err != nil {
@@ -259,7 +271,13 @@ func main() {
 		snap.SpeedupVsBaseline = make(map[string]float64)
 		for name, cur := range snap.Benchmarks {
 			if b, ok := base.Benchmarks[name]; ok && cur.NsPerOp > 0 {
-				snap.SpeedupVsBaseline[name] = b.NsPerOp / cur.NsPerOp
+				speedup := b.NsPerOp / cur.NsPerOp
+				snap.SpeedupVsBaseline[name] = speedup
+				if *maxRegress > 0 && cur.NsPerOp > b.NsPerOp*(1+*maxRegress) {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.1f%% slower, budget %.0f%%)",
+							name, b.NsPerOp, cur.NsPerOp, (cur.NsPerOp/b.NsPerOp-1)*100, *maxRegress*100))
+				}
 			}
 		}
 	}
@@ -275,4 +293,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s (%d benchmarks)\n", *out, len(snap.Benchmarks))
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: FAIL: %d benchmark(s) regressed beyond the -max-regress budget:\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchsnap:   %s\n", r)
+		}
+		os.Exit(1)
+	}
 }

@@ -17,13 +17,20 @@ import (
 func main() {
 	nw := netsim.New()
 
+	// A virtual-host farm hosts the instrumented sites; adding one is a
+	// map insert on the farm's shared listener.
+	farm, err := webserver.NewFarm(nw, "203.0.113.1")
+	if err != nil {
+		panic(err)
+	}
+	defer farm.Close()
+
 	// An artist site that disallows every Table 1 AI crawler by name.
-	site, err := webserver.Start(nw, webserver.PerAgentDisallowSite(
+	site, err := farm.StartSite(webserver.PerAgentDisallowSite(
 		"portfolio.example", "203.0.113.100", agents.Tokens()))
 	if err != nil {
 		panic(err)
 	}
-	defer site.Close()
 	fmt.Printf("hosting %s with per-agent disallow robots.txt\n\n", site.Domain())
 
 	// A mixed fleet: compliant crawlers, Bytespider's fetch-and-ignore,

@@ -73,7 +73,7 @@ func (m mixedUseCompany) visit(nw *netsim.Network, site *webserver.Site) (indexe
 	return indexed, trained, nil
 }
 
-func runScenario(nw *netsim.Network, company mixedUseCompany, name, ip, robotsTxt string, blocker webserver.Blocker) {
+func runScenario(farm *webserver.Farm, nw *netsim.Network, company mixedUseCompany, name, ip, robotsTxt string, blocker webserver.Blocker) {
 	cfg := webserver.Config{
 		Domain: "artist-" + name + ".example", IP: ip,
 		Pages:   webserver.ContentPages("artist-" + name + ".example"),
@@ -82,7 +82,7 @@ func runScenario(nw *netsim.Network, company mixedUseCompany, name, ip, robotsTx
 	if robotsTxt != "" {
 		cfg.RobotsTxt = &robotsTxt
 	}
-	site, err := webserver.Start(nw, cfg)
+	site, err := farm.StartSite(cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -105,6 +105,11 @@ func runScenario(nw *netsim.Network, company mixedUseCompany, name, ip, robotsTx
 
 func main() {
 	nw := netsim.New()
+	farm, err := webserver.NewFarm(nw, "203.0.116.250")
+	if err != nil {
+		panic(err)
+	}
+	defer farm.Close()
 	google := mixedUseCompany{
 		crawlerToken: "Googlebot",
 		virtualToken: "Google-Extended",
@@ -112,7 +117,7 @@ func main() {
 	}
 
 	fmt.Println("Scenario A — do nothing:")
-	runScenario(nw, google, "open", "203.0.116.1", "", nil)
+	runScenario(farm, nw, google, "open", "203.0.116.1", "", nil)
 
 	fmt.Println("\nScenario B — actively block Googlebot at the edge (all-or-nothing):")
 	edgeBlock := webserver.BlockerFunc(func(r *http.Request) *webserver.BlockDecision {
@@ -122,12 +127,12 @@ func main() {
 		}
 		return nil
 	})
-	runScenario(nw, google, "edge", "203.0.116.2", "", edgeBlock)
+	runScenario(farm, nw, google, "edge", "203.0.116.2", "", edgeBlock)
 
 	fmt.Println("\nScenario C — robots.txt with the Google-Extended virtual token:")
 	m := manager.Manager{Policy: manager.BlockAllAI, KeepSearchIndexing: true}
 	asOf := time.Date(2024, time.October, 1, 0, 0, 0, 0, time.UTC)
-	runScenario(nw, google, "virtual", "203.0.116.3", m.Render(asOf), nil)
+	runScenario(farm, nw, google, "virtual", "203.0.116.3", m.Render(asOf), nil)
 
 	fmt.Println("\n§6.2's conclusion: only the virtual token keeps the site in the")
 	fmt.Println("search index while opting out of AI training; edge-blocking the")

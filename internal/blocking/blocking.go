@@ -325,8 +325,8 @@ func GeneratePopulation(n int, seed int64) []SiteSpec {
 	return specs
 }
 
-// StartSite hosts one survey site according to its spec.
-func StartSite(nw *netsim.Network, spec SiteSpec, bodySize int) (*webserver.Site, error) {
+// StartSite hosts one survey site on the farm according to its spec.
+func StartSite(farm *webserver.Farm, spec SiteSpec, bodySize int) (*webserver.Site, error) {
 	body := "<html><body><h1>" + spec.Domain + "</h1>" +
 		strings.Repeat("<p>content paragraph</p>\n", bodySize/25+1) + "</body></html>"
 	var robotsTxt *string
@@ -350,8 +350,13 @@ func StartSite(nw *netsim.Network, spec SiteSpec, bodySize int) (*webserver.Site
 	if len(chain) > 0 {
 		cfg.Blocker = chain
 	}
-	return webserver.Start(nw, cfg)
+	return farm.StartSite(cfg)
 }
+
+// surveyFarmIP hosts every survey site: one listener for the whole
+// population, outside the 10.10+.x.x block GeneratePopulation assigns to
+// sites.
+const surveyFarmIP = "10.9.0.1"
 
 // SurveyResult aggregates the §6.2 measurement.
 type SurveyResult struct {
@@ -376,23 +381,22 @@ func RunSurvey(ctx context.Context, n int, seed int64, workers int, opts Detecto
 	nw := netsim.New()
 	specs := GeneratePopulation(n, seed)
 	sizeRand := stats.NewRand(seed).Fork("body-sizes")
-	sites := make([]*webserver.Site, 0, len(specs))
-	defer func() {
-		for _, s := range sites {
-			s.Close()
-		}
-	}()
+	// The whole population shares one virtual-host farm: site startup is
+	// a map insert plus an IP alias, not a per-site server.
+	farm, err := webserver.NewFarm(nw, surveyFarmIP)
+	if err != nil {
+		return nil, err
+	}
+	defer farm.Close()
 	for i, spec := range specs {
 		if i%256 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		site, err := StartSite(nw, spec, 1500+sizeRand.Intn(3000))
-		if err != nil {
+		if _, err := StartSite(farm, spec, 1500+sizeRand.Intn(3000)); err != nil {
 			return nil, err
 		}
-		sites = append(sites, site)
 	}
 
 	prober := func() *Prober { return NewProber(nw, "198.51.100.200", opts) }

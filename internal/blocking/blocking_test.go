@@ -61,8 +61,19 @@ func TestChainFirstDecisionWins(t *testing.T) {
 	}
 }
 
+func testFarm(t *testing.T, nw *netsim.Network) *webserver.Farm {
+	t.Helper()
+	farm, err := webserver.NewFarm(nw, "10.9.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { farm.Close() })
+	return farm
+}
+
 func TestProbeVerdicts(t *testing.T) {
 	nw := netsim.New()
+	farm := testFarm(t, nw)
 	cases := []struct {
 		name string
 		spec SiteSpec
@@ -78,7 +89,7 @@ func TestProbeVerdicts(t *testing.T) {
 		{"inherent + ua", SiteSpec{Domain: "both.example", IP: "10.1.0.7", InherentBlock: true, UABlock: true}, NoInference, DefaultDetector},
 	}
 	for _, tc := range cases {
-		site, err := StartSite(nw, tc.spec, 2000)
+		site, err := StartSite(farm, tc.spec, 2000)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -99,7 +110,7 @@ func TestRealCrawlerNotInherentlyBlocked(t *testing.T) {
 	// the lower-bound property the paper notes.
 	nw := netsim.New()
 	spec := SiteSpec{Domain: "inh2.example", IP: "10.1.0.8", InherentBlock: true}
-	site, err := StartSite(nw, spec, 2000)
+	site, err := StartSite(testFarm(t, nw), spec, 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +246,7 @@ func TestBlockerAgainstRealServerLog(t *testing.T) {
 	// block status, like §6's server-side evidence.
 	nw := netsim.New()
 	spec := SiteSpec{Domain: "log.example", IP: "10.1.0.9", UABlock: true, Style: StyleForbidden}
-	site, err := StartSite(nw, spec, 1000)
+	site, err := StartSite(testFarm(t, nw), spec, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +276,7 @@ func TestLabyrinthTrapsCrawler(t *testing.T) {
 		Pages:   webserver.ContentPages("maze.example"),
 		Blocker: &LabyrinthBlocker{Patterns: []string{"Bytespider"}},
 	}
-	site, err := webserver.Start(nw, cfg)
+	site, err := testFarm(t, nw).StartSite(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,35 @@
+package blocking
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/webserver"
+)
+
+// TestFarmHostingParitySurvey runs the §6.2 survey with the whole
+// population on one virtual-host farm and with the compatibility knob
+// forcing a dedicated server per site, asserting the aggregate result is
+// identical — the hosting redesign must change no verdict.
+func TestFarmHostingParitySurvey(t *testing.T) {
+	run := func(legacy bool) *SurveyResult {
+		if legacy {
+			webserver.SetLegacyPerSiteHosting(true)
+			defer webserver.SetLegacyPerSiteHosting(false)
+		}
+		res, err := RunSurvey(context.Background(), 300, 11, 8, DefaultDetector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	farm := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(farm, legacy) {
+		t.Errorf("survey diverged:\nfarm:   %+v\nlegacy: %+v", farm, legacy)
+	}
+	if farm.ActiveBlockers == 0 || farm.InherentlyBlocked == 0 {
+		t.Errorf("degenerate survey result: %+v", farm)
+	}
+}

@@ -426,3 +426,55 @@ func canonicalAgent(tok string) string {
 	}
 	return tok
 }
+
+// TestCorpusRobotsBodiesCollapseInParseCache proves the normalized parse
+// cache key on real corpus renderings: bodies are unique per site only
+// because of the per-domain comment and Sitemap lines, so a fresh cache
+// fed every site's robots.txt at one snapshot must collapse them to the
+// underlying policy templates — orders of magnitude fewer entries than
+// sites — with the hit-rate counter showing the dedup.
+func TestCorpusRobotsBodiesCollapseInParseCache(t *testing.T) {
+	c, err := New(context.Background(), Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := robots.NewCache(0)
+	k := len(Snapshots) - 1
+	sites := c.Sites()
+	for _, s := range sites {
+		cache.Parse(c.RobotsBody(s, k))
+	}
+	st := cache.Stats()
+	if int(st.Hits+st.Misses) != len(sites) {
+		t.Fatalf("counter mismatch: %d lookups for %d sites", st.Hits+st.Misses, len(sites))
+	}
+	// Template diversity grows sublinearly with population (it is the set
+	// of distinct agent-combination × path-set policies), so the collapse
+	// factor improves with scale; at this test's 0.05 scale ~250
+	// templates cover ~2k sites, the ROADMAP's "few hundred templates"
+	// at 40k-site full scale.
+	if st.Entries*5 > len(sites) {
+		t.Fatalf("normalized key left %d entries for %d sites; want at least 5x collapse",
+			st.Entries, len(sites))
+	}
+	if rate := st.HitRate(); rate < 0.85 {
+		t.Fatalf("hit rate = %.3f over %d sites, want ≥ 0.85", rate, len(sites))
+	}
+	t.Logf("%d sites -> %d cached templates, hit rate %.3f", len(sites), st.Entries, st.HitRate())
+
+	// The cached parse must agree with a verbatim parse on the decisions
+	// the analyses make: explicit restriction of every Table-1-ish agent
+	// at the root and at a partial-restriction path.
+	for _, s := range sites[:50] {
+		body := c.RobotsBody(s, k)
+		cached, direct := cache.Parse(body), robots.ParseString(body)
+		for _, agent := range []string{"GPTBot", "CCBot", "ClaudeBot", "Googlebot", "Bytespider"} {
+			for _, path := range []string{"/", "/images/pic.png", "/admin/x"} {
+				if got, want := cached.Allowed(agent, path), direct.Allowed(agent, path); got != want {
+					t.Fatalf("site %s agent %s path %s: cached %v, direct %v",
+						s.Domain, agent, path, got, want)
+				}
+			}
+		}
+	}
+}

@@ -2,21 +2,31 @@ package crawler
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/netsim"
 	"repro/internal/webserver"
 )
 
+// farmSeq hands each test farm a distinct listener IP so tests can host
+// several sites on one network.
+var farmSeq atomic.Uint32
+
 func startSite(t *testing.T, nw *netsim.Network, cfg webserver.Config) *webserver.Site {
 	t.Helper()
-	site, err := webserver.Start(nw, cfg)
+	farm, err := webserver.NewFarm(nw, fmt.Sprintf("203.0.116.%d", farmSeq.Add(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { site.Close() })
+	t.Cleanup(func() { farm.Close() })
+	site, err := farm.StartSite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return site
 }
 

@@ -19,6 +19,9 @@ import (
 	"repro/internal/webserver"
 )
 
+// measureFarmIP hosts the measurement sites' shared virtual-host farm.
+const measureFarmIP = "203.0.113.49"
+
 // Verdict classifies a crawler's observed robots.txt behaviour.
 type Verdict int
 
@@ -109,17 +112,20 @@ var passiveVisitors = []struct {
 // honors ctx cancellation between crawl waves.
 func RunPassive(ctx context.Context, seed int64) (*PassiveResult, error) {
 	nw := netsim.New()
-	wild, err := webserver.Start(nw, webserver.WildcardDisallowSite("site-a.test", "203.0.113.50"))
+	farm, err := webserver.NewFarm(nw, measureFarmIP)
 	if err != nil {
 		return nil, err
 	}
-	defer wild.Close()
-	perAgent, err := webserver.Start(nw, webserver.PerAgentDisallowSite(
+	defer farm.Close()
+	wild, err := farm.StartSite(webserver.WildcardDisallowSite("site-a.test", "203.0.113.50"))
+	if err != nil {
+		return nil, err
+	}
+	perAgent, err := farm.StartSite(webserver.PerAgentDisallowSite(
 		"site-b.test", "203.0.113.51", agents.Tokens()))
 	if err != nil {
 		return nil, err
 	}
-	defer perAgent.Close()
 
 	for _, visitor := range passiveVisitors {
 		if err := ctx.Err(); err != nil {
@@ -358,11 +364,15 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		nApps = 120
 	}
 	nw := netsim.New()
-	site, err := webserver.Start(nw, webserver.WildcardDisallowSite("trigger.test", "203.0.113.60"))
+	farm, err := webserver.NewFarm(nw, measureFarmIP)
 	if err != nil {
 		return nil, err
 	}
-	defer site.Close()
+	defer farm.Close()
+	site, err := farm.StartSite(webserver.WildcardDisallowSite("trigger.test", "203.0.113.60"))
+	if err != nil {
+		return nil, err
+	}
 	res := &ActiveResult{
 		BuiltinVerdicts:    make(map[string]Verdict),
 		ThirdPartyVerdicts: make(map[string]Verdict),
@@ -446,7 +456,9 @@ func RunActive(ctx context.Context, seed int64, nApps int) (*ActiveResult, error
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		probe, err := webserver.Start(nw, webserver.WildcardDisallowSite(
+		// Probe sites come and go mid-run: each is a farm map insert and
+		// removal, not a server start/stop.
+		probe, err := farm.StartSite(webserver.WildcardDisallowSite(
 			"probe-"+tp.Backend, probeIP(tp)))
 		if err != nil {
 			return nil, err

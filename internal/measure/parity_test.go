@@ -105,3 +105,110 @@ func TestKeepAliveParityServerLogs(t *testing.T) {
 		}
 	}
 }
+
+// TestFarmHostingParityPassiveStudy runs the full §5 passive study under
+// farm hosting (the default) and with the compatibility knob forcing the
+// legacy per-site servers, asserting identical results — virtual-host
+// dispatch on the shared listener must be invisible to the measurement.
+func TestFarmHostingParityPassiveStudy(t *testing.T) {
+	run := func(legacy bool) *PassiveResult {
+		if legacy {
+			webserver.SetLegacyPerSiteHosting(true)
+			defer webserver.SetLegacyPerSiteHosting(false)
+		}
+		res, err := RunPassive(context.Background(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	farm := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(farm.Verdicts, legacy.Verdicts) {
+		t.Errorf("verdicts diverged:\nfarm:   %v\nlegacy: %v", farm.Verdicts, legacy.Verdicts)
+	}
+	if !reflect.DeepEqual(farm.IPVerified, legacy.IPVerified) {
+		t.Errorf("IP verification diverged:\nfarm:   %v\nlegacy: %v", farm.IPVerified, legacy.IPVerified)
+	}
+	if !reflect.DeepEqual(farm.Visitors, legacy.Visitors) {
+		t.Errorf("visitor sets diverged:\nfarm:   %v\nlegacy: %v", farm.Visitors, legacy.Visitors)
+	}
+}
+
+// TestFarmHostingParityActiveStudy covers the §5.2.2 active study, whose
+// probe sites join and leave the farm mid-run.
+func TestFarmHostingParityActiveStudy(t *testing.T) {
+	run := func(legacy bool) *ActiveResult {
+		if legacy {
+			webserver.SetLegacyPerSiteHosting(true)
+			defer webserver.SetLegacyPerSiteHosting(false)
+		}
+		res, err := RunActive(context.Background(), 7, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	farm := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(farm, legacy) {
+		t.Errorf("active study diverged:\nfarm:   %+v\nlegacy: %+v", farm, legacy)
+	}
+}
+
+// TestFarmHostingParityServerLogs drives the crawler fleet at one site
+// hosted both ways and asserts the server logs are identical record for
+// record (everything but wall-clock time): same source IPs, same user
+// agents, same paths in the same order, same statuses and byte counts.
+func TestFarmHostingParityServerLogs(t *testing.T) {
+	capture := func(legacy bool) []webserver.Record {
+		if legacy {
+			webserver.SetLegacyPerSiteHosting(true)
+			defer webserver.SetLegacyPerSiteHosting(false)
+		}
+		nw := netsim.New()
+		farm, err := webserver.NewFarm(nw, "203.0.113.91")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer farm.Close()
+		site, err := farm.StartSite(webserver.WildcardDisallowSite("parity.test", "203.0.113.90"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles := []crawler.Profile{
+			{Token: "GPTBot", SourceIP: "24.0.1.10", Behavior: crawler.Compliant},
+			{Token: "Bytespider", SourceIP: "30.0.1.10", Behavior: crawler.FetchIgnore},
+			{Token: "WebFetcher", SourceIP: "100.64.0.10", Behavior: crawler.NoFetch},
+			{Token: "BuggyBot", SourceIP: "100.65.0.10", Behavior: crawler.BuggyFetch},
+		}
+		ctx := context.Background()
+		for _, p := range profiles {
+			cr, err := crawler.New(nw, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wave := 0; wave < 2; wave++ {
+				if _, err := cr.Crawl(ctx, site.URL()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return site.Log()
+	}
+	farm := comparableLog(capture(false))
+	legacy := comparableLog(capture(true))
+	if len(farm) == 0 {
+		t.Fatal("no traffic captured")
+	}
+	if !reflect.DeepEqual(farm, legacy) {
+		if len(farm) != len(legacy) {
+			t.Fatalf("log lengths diverged: farm %d, legacy %d", len(farm), len(legacy))
+		}
+		for i := range farm {
+			if farm[i] != legacy[i] {
+				t.Fatalf("log record %d diverged:\nfarm:   %+v\nlegacy: %+v", i, farm[i], legacy[i])
+			}
+		}
+	}
+}

@@ -122,6 +122,68 @@ func (n *Network) Listen(ip string, port int) (net.Listener, error) {
 	return l, nil
 }
 
+// AddAlias makes aliasIP:port a second address of target, a listener
+// previously returned by Listen on this network: dials to the alias are
+// accepted by the same listener, and the server side of each such
+// connection reports the alias as its local address. This is virtual IP
+// aliasing — one accept loop serving many advertised site IPs — and is
+// what lets a multi-site farm advertise a distinct per-site IP without a
+// per-site listener. Closing the listener releases every alias.
+func (n *Network) AddAlias(aliasIP string, port int, target net.Listener) error {
+	if net.ParseIP(aliasIP) == nil {
+		return fmt.Errorf("netsim: invalid alias IP %q", aliasIP)
+	}
+	l, ok := target.(*listener)
+	if !ok || l.network != n {
+		return fmt.Errorf("netsim: alias target is not a listener of this network")
+	}
+	key := net.JoinHostPort(aliasIP, strconv.Itoa(port))
+	// Hold l.mu across the whole registration so it cannot interleave
+	// with Close: either the alias lands before Close snapshots the
+	// alias list (and is released with the listener), or Close has
+	// already marked the listener and the alias is refused — never a
+	// leaked address pointing at a dead listener.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("netsim: alias target %s is closed", l.key)
+	}
+	n.mu.Lock()
+	if _, exists := n.listeners[key]; exists {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: address %s already in use", key)
+	}
+	n.listeners[key] = l
+	n.mu.Unlock()
+	l.aliasMu.Lock()
+	l.aliases = append(l.aliases, key)
+	l.aliasMu.Unlock()
+	return nil
+}
+
+// RemoveAlias releases an alias added with AddAlias. Removing an address
+// that is not an alias is a no-op, so callers can tear down sites without
+// tracking whether their IP was aliased or primary.
+func (n *Network) RemoveAlias(aliasIP string, port int) {
+	key := net.JoinHostPort(aliasIP, strconv.Itoa(port))
+	n.mu.Lock()
+	l, ok := n.listeners[key]
+	if !ok || l.key == key {
+		n.mu.Unlock()
+		return // unknown, or the listener's primary address
+	}
+	delete(n.listeners, key)
+	n.mu.Unlock()
+	l.aliasMu.Lock()
+	for i, k := range l.aliases {
+		if k == key {
+			l.aliases = append(l.aliases[:i], l.aliases[i+1:]...)
+			break
+		}
+	}
+	l.aliasMu.Unlock()
+}
+
 // Dial opens a connection from sourceIP to addr ("host:port", where host
 // may be a registered name or a literal IP). It honors ctx cancellation.
 func (n *Network) Dial(ctx context.Context, sourceIP, addr string) (net.Conn, error) {
@@ -224,6 +286,12 @@ type listener struct {
 	key     string
 	addr    net.Addr
 
+	// aliases are additional "ip:port" keys in network.listeners that
+	// resolve to this listener (see Network.AddAlias), guarded separately
+	// so alias bookkeeping never contends with the accept path.
+	aliasMu sync.Mutex
+	aliases []string
+
 	mu     sync.Mutex
 	cond   sync.Cond
 	queue  []net.Conn
@@ -276,8 +344,15 @@ func (l *listener) Close() error {
 	l.cond.Broadcast()
 	l.mu.Unlock()
 
+	l.aliasMu.Lock()
+	aliases := l.aliases
+	l.aliases = nil
+	l.aliasMu.Unlock()
 	l.network.mu.Lock()
 	delete(l.network.listeners, l.key)
+	for _, key := range aliases {
+		delete(l.network.listeners, key)
+	}
 	l.network.mu.Unlock()
 
 	for _, c := range drained {

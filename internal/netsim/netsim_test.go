@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -358,5 +359,105 @@ func TestDoubleCloseListener(t *testing.T) {
 	}
 	if err := ln.Close(); err != nil {
 		t.Fatal("second Close must be a no-op, not panic or error")
+	}
+}
+
+// TestAliasDialReachesSharedListener pins the virtual-IP aliasing
+// contract the webserver farm relies on: a dial to an alias address is
+// accepted by the target listener, and the accepted connection's local
+// address is the alias — the advertised per-site IP — not the listener's
+// primary address.
+func TestAliasDialReachesSharedListener(t *testing.T) {
+	nw := New()
+	ln, err := nw.Listen("192.0.2.20", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := nw.AddAlias("192.0.2.21", 80, ln); err != nil {
+		t.Fatal(err)
+	}
+
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	got := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		got <- accepted{c, err}
+	}()
+	cc, err := nw.Dial(context.Background(), "198.51.100.7", "192.0.2.21:80")
+	if err != nil {
+		t.Fatalf("dial alias: %v", err)
+	}
+	defer cc.Close()
+	acc := <-got
+	if acc.err != nil {
+		t.Fatalf("accept: %v", acc.err)
+	}
+	defer acc.conn.Close()
+	if la := acc.conn.LocalAddr().String(); la != "192.0.2.21:80" {
+		t.Fatalf("server local addr = %s, want the alias 192.0.2.21:80", la)
+	}
+	if ra := acc.conn.RemoteAddr().String(); !strings.HasPrefix(ra, "198.51.100.7:") {
+		t.Fatalf("server remote addr = %s, want source 198.51.100.7", ra)
+	}
+}
+
+// TestAliasLifecycle covers conflicts, removal, and listener close
+// releasing every alias.
+func TestAliasLifecycle(t *testing.T) {
+	nw := New()
+	ln, err := nw.Listen("192.0.2.30", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddAlias("bogus", 80, ln); err == nil {
+		t.Fatal("invalid alias IP must fail")
+	}
+	if err := nw.AddAlias("192.0.2.30", 80, ln); err == nil {
+		t.Fatal("aliasing the primary address must fail (in use)")
+	}
+	if err := nw.AddAlias("192.0.2.31", 80, ln); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddAlias("192.0.2.31", 80, ln); err == nil {
+		t.Fatal("duplicate alias must fail")
+	}
+	other := New()
+	if err := other.AddAlias("192.0.2.32", 80, ln); err == nil {
+		t.Fatal("aliasing a foreign network's listener must fail")
+	}
+
+	// Removing the primary address via RemoveAlias is a no-op.
+	nw.RemoveAlias("192.0.2.30", 80)
+	if _, err := nw.Dial(context.Background(), "198.51.100.7", "192.0.2.30:80"); err != nil {
+		t.Fatalf("primary address must survive RemoveAlias: %v", err)
+	}
+	nw.RemoveAlias("192.0.2.31", 80)
+	if _, err := nw.Dial(context.Background(), "198.51.100.7", "192.0.2.31:80"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("dial removed alias = %v, want refused", err)
+	}
+
+	if err := nw.AddAlias("192.0.2.33", 80, ln); err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if _, err := nw.Dial(context.Background(), "198.51.100.7", "192.0.2.33:80"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("dial alias after listener close = %v, want refused", err)
+	}
+	// The alias slots are free again.
+	if _, err := nw.Listen("192.0.2.33", 80); err != nil {
+		t.Fatalf("rebinding released alias: %v", err)
+	}
+	// Aliasing a closed listener is refused; the address stays free.
+	if err := nw.AddAlias("192.0.2.34", 80, ln); err == nil {
+		t.Fatal("aliasing a closed listener must fail")
+	}
+	if ln2, err := nw.Listen("192.0.2.34", 80); err != nil {
+		t.Fatalf("address leaked by rejected alias: %v", err)
+	} else {
+		ln2.Close()
 	}
 }

@@ -1,0 +1,35 @@
+package proxy
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/webserver"
+)
+
+// TestFarmHostingParityInferenceSurvey runs the §6.3 Figure 7 survey
+// with the proxied population on one virtual-host farm and with the
+// compatibility knob forcing per-site servers, asserting identical
+// classifications and robots correlations.
+func TestFarmHostingParityInferenceSurvey(t *testing.T) {
+	run := func(legacy bool) *CFSurveyResult {
+		if legacy {
+			webserver.SetLegacyPerSiteHosting(true)
+			defer webserver.SetLegacyPerSiteHosting(false)
+		}
+		res, err := RunInferenceSurvey(context.Background(), 300, 11, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	farm := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(farm, legacy) {
+		t.Errorf("inference survey diverged:\nfarm:   %+v\nlegacy: %+v", farm, legacy)
+	}
+	if farm.Inconclusive == 0 || farm.OnBlock == 0 {
+		t.Errorf("degenerate survey result: %+v", farm)
+	}
+}

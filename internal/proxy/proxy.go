@@ -36,6 +36,10 @@ const (
 	ChallengePageMarker = "cf-challenge-page"
 )
 
+// cfFarmIP hosts the proxied populations' shared virtual-host farm,
+// outside the 11.10+.x.x block GenerateCFPopulation assigns to sites.
+const cfFarmIP = "11.9.0.1"
+
 // Settings is a proxied site's bot-management configuration.
 type Settings struct {
 	// BlockAIBots is the one-click AI blocking feature.
@@ -204,16 +208,19 @@ func RunGreyBox(seed int64, extraAgents int) (*GreyBoxResult, error) {
 	}
 	nw := netsim.New()
 	px := New(Settings{})
-	cfg := webserver.Config{
-		Domain: "greybox.test", IP: "203.0.113.80",
-		Pages:   map[string]webserver.Page{"/": {Body: "<html><body>owner content</body></html>"}},
-		Blocker: px,
-	}
-	site, err := webserver.Start(nw, cfg)
+	farm, err := webserver.NewFarm(nw, cfFarmIP)
 	if err != nil {
 		return nil, err
 	}
-	defer site.Close()
+	defer farm.Close()
+	site, err := farm.StartSite(webserver.Config{
+		Domain: "greybox.test", IP: "203.0.113.80",
+		Pages:   map[string]webserver.Page{"/": {Body: "<html><body>owner content</body></html>"}},
+		Blocker: px,
+	})
+	if err != nil {
+		return nil, err
+	}
 	// Grey-box replays run without a caller context; bound them with a
 	// client-level timeout instead.
 	client := nw.HTTPClient("198.51.100.230")
@@ -491,12 +498,13 @@ func RunInferenceSurvey(ctx context.Context, n int, seed int64, workers int) (*C
 	workers = par.Clamp(workers)
 	nw := netsim.New()
 	specs := GenerateCFPopulation(n, seed)
-	sites := make([]*webserver.Site, 0, n)
-	defer func() {
-		for _, s := range sites {
-			s.Close()
-		}
-	}()
+	// One virtual-host farm stands in for the whole proxied population —
+	// fittingly, real Cloudflare-fronted sites share edge listeners too.
+	farm, err := webserver.NewFarm(nw, cfFarmIP)
+	if err != nil {
+		return nil, err
+	}
+	defer farm.Close()
 	aiRobots := "User-agent: GPTBot\nUser-agent: anthropic-ai\nUser-agent: ClaudeBot\nDisallow: /\n"
 	plainRobots := "User-agent: *\nDisallow: /admin/\n"
 	for i, spec := range specs {
@@ -510,17 +518,15 @@ func RunInferenceSurvey(ctx context.Context, n int, seed int64, workers int) (*C
 			robotsTxt = aiRobots
 		}
 		rt := robotsTxt
-		site, err := webserver.Start(nw, webserver.Config{
+		if _, err := farm.StartSite(webserver.Config{
 			Domain:    spec.Domain,
 			IP:        spec.IP,
 			RobotsTxt: &rt,
 			Pages:     map[string]webserver.Page{"/": {Body: "<html><body>site content for " + spec.Domain + "</body></html>"}},
 			Blocker:   New(spec.Settings),
-		})
-		if err != nil {
+		}); err != nil {
 			return nil, err
 		}
-		sites = append(sites, site)
 	}
 
 	inferences := make([]Inference, n)

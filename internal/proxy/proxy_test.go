@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/agents"
@@ -13,10 +14,19 @@ import (
 	"repro/internal/webserver"
 )
 
+// farmSeq hands each test farm a distinct listener IP so several farms
+// can share one test network.
+var farmSeq atomic.Uint32
+
 func startProxied(t *testing.T, nw *netsim.Network, domain, ip string, s Settings) (*webserver.Site, *Proxy) {
 	t.Helper()
 	px := New(s)
-	site, err := webserver.Start(nw, webserver.Config{
+	farm, err := webserver.NewFarm(nw, "11.9.1."+itoa(int(farmSeq.Add(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { farm.Close() })
+	site, err := farm.StartSite(webserver.Config{
 		Domain: domain, IP: ip,
 		Pages:   map[string]webserver.Page{"/": {Body: "<html><body>real content here</body></html>"}},
 		Blocker: px,
@@ -24,7 +34,6 @@ func startProxied(t *testing.T, nw *netsim.Network, domain, ip string, s Setting
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { site.Close() })
 	return site, px
 }
 

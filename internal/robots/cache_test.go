@@ -144,3 +144,105 @@ func TestCachedVerdictParityAcrossProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheNormalizedKeyCollapsesTemplates pins the normalized content
+// key: bodies that differ only in per-site comment and Sitemap lines —
+// how every corpus rendering differs from its neighbours — share one
+// cache entry, one *Robots identity, and identical rule semantics, and
+// the hit/miss counters prove the dedup.
+func TestCacheNormalizedKeyCollapsesTemplates(t *testing.T) {
+	c := NewCache(0)
+	template := func(domain string) string {
+		return "# robots.txt for " + domain + "\n" +
+			"User-agent: *\nDisallow: /admin/\n\n" +
+			"User-agent: GPTBot\nUser-agent: CCBot\nDisallow: /\n\n" +
+			"Sitemap: https://" + domain + "/sitemap.xml\n"
+	}
+	first := c.Parse(template("site-00001.example"))
+	for i := 2; i <= 100; i++ {
+		rb := c.Parse(template(fmt.Sprintf("site-%05d.example", i)))
+		if rb != first {
+			t.Fatalf("site %d: normalized bodies must share one parse identity", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (all bodies are one template)", st.Entries)
+	}
+	if st.Misses != 1 || st.Hits != 99 {
+		t.Fatalf("hits/misses = %d/%d, want 99/1", st.Hits, st.Misses)
+	}
+	if rate := st.HitRate(); rate < 0.98 {
+		t.Fatalf("hit rate = %.3f, want ≥ 0.98", rate)
+	}
+
+	// Rule semantics match a verbatim parse exactly.
+	body := template("site-00042.example")
+	direct := ParseString(body)
+	for _, tc := range []struct {
+		agent, path string
+	}{
+		{"GPTBot", "/"}, {"GPTBot", "/about.html"}, {"CCBot", "/x"},
+		{"Googlebot", "/admin/x"}, {"Googlebot", "/page"},
+	} {
+		if got, want := first.Allowed(tc.agent, tc.path), direct.Allowed(tc.agent, tc.path); got != want {
+			t.Errorf("Allowed(%s, %s): cached %v, direct %v", tc.agent, tc.path, got, want)
+		}
+	}
+
+	// A body with genuinely different rules is a different entry.
+	other := c.Parse("User-agent: *\nDisallow: /\n")
+	if other == first {
+		t.Fatal("different policies must not collapse")
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestCacheNormalizationRespectsBuggyProfiles pins the gate: under a
+// profile where comment lines break groups (the legacy-buggy parser
+// reproduction), stripping them would change semantics, so the cache
+// keys those bodies verbatim.
+func TestCacheNormalizationRespectsBuggyProfiles(t *testing.T) {
+	// Under ProfileLegacyBuggy the comment line splits the two User-agent
+	// lines into separate groups (and last-agent-wins drops the first);
+	// with the comment stripped they form one group.
+	body := "User-agent: GPTBot\n# split here\nUser-agent: CCBot\nDisallow: /\n"
+	c := NewCache(0)
+	cached := c.ParseProfile(body, ProfileLegacyBuggy)
+	direct := ParseStringProfile(body, ProfileLegacyBuggy)
+	if got, want := cached.Allowed("GPTBot", "/x"), direct.Allowed("GPTBot", "/x"); got != want {
+		t.Fatalf("legacy-buggy cached parse diverged from direct parse: %v vs %v", got, want)
+	}
+	// And the buggy profile's entry must not be shared with a normalized
+	// Google-profile entry for the same body.
+	if c.ParseProfile(body, ProfileGoogle) == cached {
+		t.Fatal("profiles must not share entries")
+	}
+}
+
+// TestNormalizeKey covers the line classifier directly.
+func TestNormalizeKey(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"User-agent: *\nDisallow: /\n", "User-agent: *\nDisallow: /\n"}, // untouched, no alloc path
+		{"# c\nUser-agent: *\nDisallow: /\n", "User-agent: *\nDisallow: /\n"},
+		{"  \t# indented comment\nAllow: /a\n", "Allow: /a\n"},
+		{"Sitemap: https://a/s.xml\nUser-agent: *\nDisallow: /\n", "User-agent: *\nDisallow: /\n"},
+		{"SITE-MAP : https://a/s.xml\nAllow: /\n", "Allow: /\n"},
+		{"User-agent: *\nDisallow: /a#frag\n", "User-agent: *\nDisallow: /a#frag\n"}, // inline '#' kept
+		{"Sitemapish: x\n", "Sitemapish: x\n"},                                       // not a sitemap directive
+		{"Disallow: / # trailing comment\n", "Disallow: / # trailing comment\n"},     // whole-line only
+		{"# only a comment", ""},
+	}
+	for _, tc := range cases {
+		if got := normalizeKey(tc.in); got != tc.want {
+			t.Errorf("normalizeKey(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// The no-strip fast path returns the identical string.
+	in := "User-agent: *\nDisallow: /\n"
+	if out := normalizeKey(in); &in != &in || out != in {
+		t.Errorf("fast path changed the body")
+	}
+}

@@ -59,8 +59,21 @@ func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
 	var firstErr error
 	var errOnce sync.Once
 	parErr := par.Do(runCtx, workers, sp.Sites, func(shardStart, shardEnd int) {
+		// Each shard runs its sites on a private network with one
+		// virtual-host farm: the shard's sites come and go as map inserts
+		// on a single shared listener instead of each paying a server
+		// start. Sites stay observably independent — own domain, own log,
+		// own crawler instances, RNG forks derived before sharding — so
+		// the result is still bit-identical at any worker count.
+		nw := netsim.New()
+		farm, err := webserver.NewFarm(nw, siteIP)
+		if err != nil {
+			errOnce.Do(func() { firstErr = err; cancel() })
+			return
+		}
+		defer farm.Close()
 		for i := shardStart; i < shardEnd; i++ {
-			sr, err := runSite(runCtx, sp, roster, curve, i, forks[i], start)
+			sr, err := runSite(runCtx, sp, roster, curve, i, forks[i], start, nw, farm)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err; cancel() })
 				return
@@ -164,14 +177,17 @@ type siteSim struct {
 	evidence map[string]measure.Evidence
 }
 
-// runSite simulates one site's whole timeline on a private network.
+// siteIP is the shared advertised address of every scenario site — the
+// farm listener of each shard's private network.
+const siteIP = "203.0.113.80"
+
+// runSite simulates one site's whole timeline on its shard's network.
 func runSite(ctx context.Context, sp Spec, roster []resolvedCrawler, curve []float64,
-	idx int, rn *stats.Rand, start time.Time) (*siteResult, error) {
-	nw := netsim.New()
+	idx int, rn *stats.Rand, start time.Time, nw *netsim.Network, farm *webserver.Farm) (*siteResult, error) {
 	domain := fmt.Sprintf("site-%05d.scenario.test", idx)
-	site, err := webserver.Start(nw, webserver.Config{
+	site, err := farm.StartSite(webserver.Config{
 		Domain: domain,
-		IP:     "203.0.113.80",
+		IP:     siteIP,
 		Pages:  webserver.ContentPages(domain),
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/netsim"
+	"repro/internal/webserver"
 )
 
 // TestKeepAliveParityObservedScenario runs the observed-world builtin
@@ -48,6 +49,51 @@ func TestKeepAliveParityObservedScenario(t *testing.T) {
 		if !reflect.DeepEqual(pooled.Months[m], legacy.Months[m]) {
 			t.Errorf("month %d diverged:\npooled: %+v\nlegacy: %+v",
 				m, pooled.Months[m], legacy.Months[m])
+		}
+	}
+}
+
+// TestFarmHostingParityObservedScenario runs the observed-world builtin
+// with the per-shard virtual-host farms and with the compatibility knob
+// forcing a dedicated server per site, asserting the entire result —
+// monthly metrics, verdicts, totals — is identical. Site sims join and
+// leave the shard farm over the run, so this also pins the
+// StartSite/Remove lifecycle against the measurement contract.
+func TestFarmHostingParityObservedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario parity run in -short mode")
+	}
+	run := func(legacy bool) *Result {
+		if legacy {
+			webserver.SetLegacyPerSiteHosting(true)
+			defer webserver.SetLegacyPerSiteHosting(false)
+		}
+		res, err := Run(context.Background(), Observed(11, 8, 12), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	farm := run(false)
+	legacy := run(true)
+
+	if !reflect.DeepEqual(farm.Verdicts, legacy.Verdicts) {
+		t.Errorf("verdicts diverged:\nfarm:   %v\nlegacy: %v", farm.Verdicts, legacy.Verdicts)
+	}
+	if farm.TotalVisits != legacy.TotalVisits ||
+		farm.TotalDisallowedBytes != legacy.TotalDisallowedBytes ||
+		farm.TotalBlockedRequests != legacy.TotalBlockedRequests {
+		t.Errorf("totals diverged: farm (%d, %d, %d) vs legacy (%d, %d, %d)",
+			farm.TotalVisits, farm.TotalDisallowedBytes, farm.TotalBlockedRequests,
+			legacy.TotalVisits, legacy.TotalDisallowedBytes, legacy.TotalBlockedRequests)
+	}
+	if len(farm.Months) != len(legacy.Months) {
+		t.Fatalf("month counts diverged: %d vs %d", len(farm.Months), len(legacy.Months))
+	}
+	for m := range farm.Months {
+		if !reflect.DeepEqual(farm.Months[m], legacy.Months[m]) {
+			t.Errorf("month %d diverged:\nfarm:   %+v\nlegacy: %+v",
+				m, farm.Months[m], legacy.Months[m])
 		}
 	}
 }

@@ -1,0 +1,408 @@
+package webserver
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+)
+
+// legacyPerSiteHosting restores the pre-farm hosting behaviour: every
+// Farm.StartSite stands up a dedicated listener + http.Server for the
+// site, exactly as webserver.Start always did. It exists as a
+// compatibility knob so parity tests can prove that shared-listener
+// virtual-host dispatch leaves server logs and survey verdicts
+// bit-identical; production paths never set it.
+var legacyPerSiteHosting atomic.Bool
+
+// SetLegacyPerSiteHosting toggles the compatibility hosting mode for
+// farms created after the call: when enabled, NewFarm binds no shared
+// listener and each StartSite runs its own per-site server.
+func SetLegacyPerSiteHosting(enabled bool) { legacyPerSiteHosting.Store(enabled) }
+
+// LegacyPerSiteHosting reports whether the compatibility hosting mode is
+// on.
+func LegacyPerSiteHosting() bool { return legacyPerSiteHosting.Load() }
+
+// Farm hosts any number of sites on one netsim network behind a single
+// shared listener, dispatching each request to its site by the Host
+// header — name-based virtual hosting. Adding a site is a map insert
+// plus (when the site advertises its own IP) a virtual-IP alias of the
+// farm listener, instead of the listener + accept loop + http.Server a
+// per-site webserver.Start costs; at survey scale (thousands of sites
+// per network) that server spin-up used to be ~30% of the run.
+//
+// Sites keep their full measurement contract under a farm: each site has
+// its own request log with the per-site global sequence, LogSince
+// windows, and deterministic per-connection ordering; every request
+// still carries the client's simulated source IP; and robots.txt /
+// blocker swaps apply per site. Requests for a Host no site claims are
+// answered 421 Misdirected Request.
+//
+// All methods are safe for concurrent use, including StartSite and
+// Remove while requests are in flight.
+type Farm struct {
+	nw     *netsim.Network
+	ip     string
+	ln     net.Listener
+	srv    *http.Server
+	done   chan struct{}
+	legacy bool
+
+	mu    sync.RWMutex
+	hosts map[string]*Site // lowercased Host (domain or IP) -> site
+	// members is the set of live sites, for idempotent removal and Close.
+	members map[*Site]bool
+	// aliasRefs counts member sites advertising each aliased IP so the
+	// alias is released only when its last site is removed.
+	aliasRefs map[string]int
+	closed    bool
+
+	unmatched atomic.Uint64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]*farmConn
+}
+
+// farmConnKey carries a connection's shard carrier through the request
+// context.
+type farmConnKey struct{}
+
+// farmConn tracks one farm connection's per-site log shards. A
+// keep-alive connection normally speaks to a single site (transports
+// pool per host), but nothing stops a client from switching Host headers
+// mid-connection, so shards are kept per (connection, site).
+type farmConn struct {
+	mu     sync.Mutex
+	shards map[*Site]*logShard
+}
+
+// shardFor returns the connection's shard for the site, creating and
+// registering it on first use.
+func (fc *farmConn) shardFor(s *Site) *logShard {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	sh := fc.shards[s]
+	if sh == nil {
+		sh = &logShard{}
+		fc.shards[s] = sh
+		s.addShard(sh)
+	}
+	return sh
+}
+
+// NewFarm binds the farm's shared listener at ip:80 on nw. Every site
+// subsequently added with StartSite is served from this one listener;
+// sites whose Config.IP differs from the farm address are reachable at
+// their own IP via a netsim virtual-IP alias.
+//
+// When the legacy per-site hosting knob is on, the farm binds no
+// listener and StartSite hosts each site on a dedicated server instead —
+// same API, pre-farm mechanics — so parity tests can flip one switch and
+// compare.
+func NewFarm(nw *netsim.Network, ip string) (*Farm, error) {
+	f := &Farm{
+		nw:        nw,
+		ip:        ip,
+		hosts:     make(map[string]*Site),
+		members:   make(map[*Site]bool),
+		aliasRefs: make(map[string]int),
+		legacy:    legacyPerSiteHosting.Load(),
+	}
+	if f.legacy {
+		return f, nil
+	}
+	ln, err := nw.Listen(ip, 80)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: farm listener: %w", err)
+	}
+	f.ln = ln
+	f.done = make(chan struct{})
+	f.conns = make(map[net.Conn]*farmConn)
+	f.srv = &http.Server{
+		Handler: http.HandlerFunc(f.dispatch),
+		ConnContext: func(ctx context.Context, c net.Conn) context.Context {
+			fc := &farmConn{shards: make(map[*Site]*logShard)}
+			f.connMu.Lock()
+			f.conns[c] = fc
+			f.connMu.Unlock()
+			return context.WithValue(ctx, farmConnKey{}, fc)
+		},
+		ConnState: func(c net.Conn, st http.ConnState) {
+			if st == http.StateClosed || st == http.StateHijacked {
+				f.retireConn(c)
+			}
+		},
+	}
+	go func() {
+		defer close(f.done)
+		f.srv.Serve(ln)
+	}()
+	return f, nil
+}
+
+// IP returns the farm listener's address.
+func (f *Farm) IP() string { return f.ip }
+
+// Unmatched returns the number of requests that named a Host no site
+// claims (answered 421).
+func (f *Farm) Unmatched() uint64 { return f.unmatched.Load() }
+
+// Len returns the number of sites currently hosted.
+func (f *Farm) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.members)
+}
+
+// StartSite adds a site to the farm and returns it, registering
+// cfg.Domain in the network's name service and aliasing cfg.IP to the
+// farm listener when it differs from the farm address. Duplicate host
+// registration is an error — a second site may not silently shadow the
+// first — as is an invalid Config.
+func (f *Farm) StartSite(cfg Config) (*Site, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if f.legacy {
+		return f.startSiteLegacy(cfg)
+	}
+	domainKey := strings.ToLower(cfg.Domain)
+	s := newSite(cfg)
+	s.farm = f
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("webserver: farm is closed")
+	}
+	if prev := f.hosts[domainKey]; prev != nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("webserver: host %q already registered on this farm", cfg.Domain)
+	}
+	if cfg.IP != f.ip {
+		if f.aliasRefs[cfg.IP] == 0 {
+			if err := f.nw.AddAlias(cfg.IP, 80, f.ln); err != nil {
+				f.mu.Unlock()
+				return nil, fmt.Errorf("webserver: site IP %s: %w", cfg.IP, err)
+			}
+		}
+		f.aliasRefs[cfg.IP]++
+	}
+	f.hosts[domainKey] = s
+	// Also answer requests that address the site by literal IP, unless
+	// another site already claims that IP (sites may share one).
+	if f.hosts[cfg.IP] == nil {
+		f.hosts[cfg.IP] = s
+	}
+	f.members[s] = true
+	f.mu.Unlock()
+
+	f.nw.Register(cfg.Domain, cfg.IP)
+	return s, nil
+}
+
+// startSiteLegacy hosts the site on its own server (compat knob path),
+// keeping the farm's duplicate-host contract and membership tracking so
+// Close tears the site down either way.
+func (f *Farm) startSiteLegacy(cfg Config) (*Site, error) {
+	domainKey := strings.ToLower(cfg.Domain)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("webserver: farm is closed")
+	}
+	if prev := f.hosts[domainKey]; prev != nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("webserver: host %q already registered on this farm", cfg.Domain)
+	}
+	f.mu.Unlock()
+
+	s, err := Start(f.nw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.farm = f
+	f.mu.Lock()
+	// Re-check under the lock: a concurrent StartSite for the same host
+	// may have won the race since the pre-flight check, and it must not
+	// be silently shadowed.
+	if f.closed || f.hosts[domainKey] != nil {
+		closed := f.closed
+		f.mu.Unlock()
+		s.srv.Close()
+		<-s.done
+		if closed {
+			return nil, fmt.Errorf("webserver: farm is closed")
+		}
+		return nil, fmt.Errorf("webserver: host %q already registered on this farm", cfg.Domain)
+	}
+	f.hosts[domainKey] = s
+	f.members[s] = true
+	f.mu.Unlock()
+	return s, nil
+}
+
+// Remove takes a site out of the farm: its Host stops resolving (421),
+// its IP alias is released once no other site advertises it, and — in
+// legacy mode — its dedicated server shuts down. The site's log remains
+// readable. Removing a site twice, or one the farm does not host, is a
+// no-op. Site.Close on a farm-hosted site delegates here.
+func (f *Farm) Remove(s *Site) error {
+	f.mu.Lock()
+	if !f.members[s] {
+		f.mu.Unlock()
+		return nil
+	}
+	delete(f.members, s)
+	domainKey := strings.ToLower(s.cfg.Domain)
+	if f.hosts[domainKey] == s {
+		delete(f.hosts, domainKey)
+	}
+	if f.hosts[s.cfg.IP] == s {
+		delete(f.hosts, s.cfg.IP)
+		// Hand literal-IP dispatch to a surviving site advertising the
+		// same address, so sharing an IP with a removed neighbour does
+		// not silence it for dial-by-IP clients.
+		for other := range f.members {
+			if other.cfg.IP == s.cfg.IP {
+				f.hosts[s.cfg.IP] = other
+				break
+			}
+		}
+	}
+	if !f.legacy && s.cfg.IP != f.ip {
+		f.aliasRefs[s.cfg.IP]--
+		if f.aliasRefs[s.cfg.IP] <= 0 {
+			delete(f.aliasRefs, s.cfg.IP)
+			f.nw.RemoveAlias(s.cfg.IP, 80)
+		}
+	}
+	f.mu.Unlock()
+
+	if s.srv != nil {
+		err := s.srv.Close()
+		<-s.done
+		return err
+	}
+	// Close the connections that served the removed site, exactly as
+	// closing a dedicated per-site server would: their goroutines and
+	// ring buffers are released instead of idling until farm Close — at
+	// scenario scale, thousands of retired sites' worth. A client with a
+	// pooled idle connection transparently redials; an in-flight request
+	// observes a reset, the same outcome the legacy path produced.
+	f.connMu.Lock()
+	var stale []net.Conn
+	for c, fc := range f.conns {
+		fc.mu.Lock()
+		if _, ok := fc.shards[s]; ok {
+			stale = append(stale, c)
+		}
+		fc.mu.Unlock()
+	}
+	f.connMu.Unlock()
+	for _, c := range stale {
+		c.Close()
+	}
+	return nil
+}
+
+// Close shuts the farm down: the shared listener and server stop (in
+// legacy mode, every remaining per-site server stops) and all sites are
+// removed. Site logs remain readable.
+func (f *Farm) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	remaining := make([]*Site, 0, len(f.members))
+	for s := range f.members {
+		remaining = append(remaining, s)
+	}
+	f.members = make(map[*Site]bool)
+	f.hosts = make(map[string]*Site)
+	f.aliasRefs = make(map[string]int)
+	f.mu.Unlock()
+
+	var err error
+	for _, s := range remaining {
+		if s.srv != nil {
+			if cerr := s.srv.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			<-s.done
+		}
+	}
+	if f.srv != nil {
+		if cerr := f.srv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		<-f.done
+	}
+	return err
+}
+
+// dispatch routes one request to the site owning its Host header.
+func (f *Farm) dispatch(w http.ResponseWriter, r *http.Request) {
+	key := hostKey(r.Host)
+	f.mu.RLock()
+	s := f.hosts[key]
+	f.mu.RUnlock()
+	if s == nil {
+		f.unmatched.Add(1)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		io.WriteString(w, "421 misdirected request: no site for host\n")
+		return
+	}
+	sh := s.fallback
+	if fc, _ := r.Context().Value(farmConnKey{}).(*farmConn); fc != nil {
+		sh = fc.shardFor(s)
+	}
+	s.serve(w, r, sh)
+}
+
+// retireConn retires every per-site shard the closed connection
+// accumulated.
+func (f *Farm) retireConn(c net.Conn) {
+	f.connMu.Lock()
+	fc, ok := f.conns[c]
+	if ok {
+		delete(f.conns, c)
+	}
+	f.connMu.Unlock()
+	if !ok {
+		return
+	}
+	fc.mu.Lock()
+	shards := fc.shards
+	fc.shards = nil
+	fc.mu.Unlock()
+	for s, sh := range shards {
+		s.retire(sh)
+	}
+}
+
+// hostKey normalizes a Host header for dispatch: the optional port is
+// dropped and the name lowercased. The fast path — a lowercase host with
+// no port, which is what every client in this codebase sends — does not
+// allocate.
+func hostKey(h string) string {
+	if host, _, err := net.SplitHostPort(h); err == nil {
+		h = host
+	}
+	for i := 0; i < len(h); i++ {
+		if c := h[i]; c >= 'A' && c <= 'Z' {
+			return strings.ToLower(h)
+		}
+	}
+	return h
+}

@@ -56,7 +56,9 @@ func (f BlockerFunc) Check(r *http.Request) *BlockDecision { return f(r) }
 type Config struct {
 	// Domain registers the site in the network's name service.
 	Domain string
-	// IP is the listen address.
+	// IP is the site's advertised address. Under a Farm the address is a
+	// virtual alias of the farm listener; with per-site hosting it is the
+	// listen address.
 	IP string
 	// RobotsTxt is served at /robots.txt; nil means the site has no
 	// robots.txt (404).
@@ -66,6 +68,23 @@ type Config struct {
 	// Blocker, when set, screens every request (including robots.txt,
 	// like real reverse proxies do).
 	Blocker Blocker
+}
+
+// Validate reports whether the config can be hosted: a non-empty domain
+// and a parseable, non-empty IP. Hosting entry points (Start and
+// Farm.StartSite) apply it before touching the network, so a bad config
+// fails with a clear error instead of a half-registered site.
+func (cfg Config) Validate() error {
+	if cfg.Domain == "" {
+		return fmt.Errorf("webserver: site host (Domain) must not be empty")
+	}
+	if cfg.IP == "" {
+		return fmt.Errorf("webserver: site IP must not be empty")
+	}
+	if net.ParseIP(cfg.IP) == nil {
+		return fmt.Errorf("webserver: invalid site IP %q", cfg.IP)
+	}
+	return nil
 }
 
 // Record is one logged request, the unit of §5's passive analysis.
@@ -96,11 +115,19 @@ type seqRecord struct {
 // shardKey carries a connection's logShard through the request context.
 type shardKey struct{}
 
-// Site is a running instrumented website.
+// Site is a running instrumented website. It is hosted either by a Farm
+// (virtual-host dispatch on the farm's shared listener) or by a dedicated
+// per-site server (the legacy Start path); the measurement surface —
+// request log, runtime policy swaps — is identical in both modes.
 type Site struct {
 	cfg Config
 
-	mu   sync.Mutex // guards cfg mutations (robots, blocker, pages)
+	mu sync.Mutex // guards cfg mutations (robots, blocker, pages)
+
+	// farm is set when the site is hosted by a Farm; srv/ln/done are set
+	// when the site runs its own server. Exactly one of the two hosting
+	// modes is active.
+	farm *Farm
 	srv  *http.Server
 	ln   net.Listener
 	done chan struct{}
@@ -111,23 +138,41 @@ type Site struct {
 	// connShards maps live connections to their shards so records can be
 	// folded into fallback when a connection closes, keeping the shard
 	// list proportional to live connections rather than total churn.
+	// Farm-hosted sites track shards per (connection, site) in the farm's
+	// carrier instead.
 	connShards map[net.Conn]*logShard
 	fallback   *logShard // for requests without a connection shard
 }
 
-// Start hosts the site on nw at cfg.IP:80 and registers cfg.Domain.
+// newSite builds the log machinery shared by both hosting modes.
+func newSite(cfg Config) *Site {
+	s := &Site{cfg: cfg}
+	s.fallback = &logShard{}
+	s.shards = []*logShard{s.fallback}
+	return s
+}
+
+// Start hosts the site on its own dedicated listener at cfg.IP:80 and
+// registers cfg.Domain.
+//
+// This is the legacy single-site hosting path: every call costs a
+// listener, an accept-loop goroutine, and an http.Server. Surveys and
+// simulations that stand up many sites on one network should use a Farm,
+// which hosts any number of sites behind one listener; Start remains for
+// single-site uses and as the reference implementation the farm parity
+// tests compare against.
 func Start(nw *netsim.Network, cfg Config) (*Site, error) {
-	if cfg.Domain == "" || cfg.IP == "" {
-		return nil, fmt.Errorf("webserver: domain and IP are required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	ln, err := nw.Listen(cfg.IP, 80)
 	if err != nil {
 		return nil, fmt.Errorf("webserver: %w", err)
 	}
 	nw.Register(cfg.Domain, cfg.IP)
-	s := &Site{cfg: cfg, ln: ln, done: make(chan struct{})}
-	s.fallback = &logShard{}
-	s.shards = []*logShard{s.fallback}
+	s := newSite(cfg)
+	s.ln = ln
+	s.done = make(chan struct{})
 	s.connShards = make(map[net.Conn]*logShard)
 	s.srv = &http.Server{
 		Handler: http.HandlerFunc(s.handle),
@@ -152,8 +197,12 @@ func Start(nw *netsim.Network, cfg Config) (*Site, error) {
 	return s, nil
 }
 
-// Close stops the site.
+// Close stops the site. A farm-hosted site is removed from its farm (its
+// log stays readable); a self-hosted site shuts down its server.
 func (s *Site) Close() error {
+	if s.farm != nil {
+		return s.farm.Remove(s)
+	}
 	err := s.srv.Close()
 	<-s.done
 	return err
@@ -179,7 +228,21 @@ func (s *Site) SetBlocker(b Blocker) {
 	s.cfg.Blocker = b
 }
 
+// handle serves a request on the legacy per-site server, resolving the
+// connection's log shard from the request context.
 func (s *Site) handle(w http.ResponseWriter, r *http.Request) {
+	sh, _ := r.Context().Value(shardKey{}).(*logShard)
+	if sh == nil {
+		sh = s.fallback
+	}
+	s.serve(w, r, sh)
+}
+
+// serve answers one request and appends its record to the given log
+// shard. Both hosting modes funnel here, which is what keeps the
+// observable site behaviour — responses, blocking, log contents —
+// independent of how the site is hosted.
+func (s *Site) serve(w http.ResponseWriter, r *http.Request, sh *logShard) {
 	s.mu.Lock()
 	robotsTxt := s.cfg.RobotsTxt
 	blocker := s.cfg.Blocker
@@ -216,10 +279,6 @@ func (s *Site) handle(w http.ResponseWriter, r *http.Request) {
 	n, _ := io.WriteString(w, body)
 
 	host, _, _ := net.SplitHostPort(r.RemoteAddr)
-	sh, _ := r.Context().Value(shardKey{}).(*logShard)
-	if sh == nil {
-		sh = s.fallback
-	}
 	rec := Record{
 		Time:      time.Now(),
 		RemoteIP:  host,
@@ -283,21 +342,39 @@ func (s *Site) LogLen() int {
 	return int(s.logSeq.Load())
 }
 
-// retireShard folds a closed connection's records into the fallback
-// shard and drops the shard, so the shard list tracks live connections
-// instead of growing with every connection the site ever served. The
-// serve loop has exited by the time ConnState reports StateClosed, so no
-// handler can still be appending to the shard. The whole move happens
-// under shardsMu so LogSince (which reads under the same lock) can
-// never see the drained shard alongside the pre-merge fallback.
+// addShard registers a fresh per-connection shard with the site so Log
+// and LogSince merge it. Farm connections call it lazily on a
+// connection's first request to each site.
+func (s *Site) addShard(sh *logShard) {
+	s.shardsMu.Lock()
+	s.shards = append(s.shards, sh)
+	s.shardsMu.Unlock()
+}
+
+// retireShard resolves a closed legacy-server connection to its shard
+// and retires it.
 func (s *Site) retireShard(c net.Conn) {
 	s.shardsMu.Lock()
-	defer s.shardsMu.Unlock()
 	sh, ok := s.connShards[c]
-	if !ok {
-		return
+	if ok {
+		delete(s.connShards, c)
 	}
-	delete(s.connShards, c)
+	s.shardsMu.Unlock()
+	if ok {
+		s.retire(sh)
+	}
+}
+
+// retire folds a closed connection's records into the fallback shard and
+// drops the shard, so the shard list tracks live connections instead of
+// growing with every connection the site ever served. The serve loop has
+// exited by the time ConnState reports StateClosed, so no handler can
+// still be appending to the shard. The whole move happens under shardsMu
+// so LogSince (which reads under the same lock) can never see the
+// drained shard alongside the pre-merge fallback.
+func (s *Site) retire(sh *logShard) {
+	s.shardsMu.Lock()
+	defer s.shardsMu.Unlock()
 	for i, x := range s.shards {
 		if x == sh {
 			s.shards = append(s.shards[:i], s.shards[i+1:]...)
