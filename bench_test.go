@@ -569,6 +569,34 @@ func BenchmarkNetsimHTTP(b *testing.B) {
 	}
 }
 
+// BenchmarkNetsimHTTPLegacyFraming is the same request loop with the
+// stdlib net/http client and server framing restored on both ends, so
+// the netsim-native fast path's win is visible in one bench run.
+func BenchmarkNetsimHTTPLegacyFraming(b *testing.B) {
+	netsim.SetLegacyNetHTTP(true)
+	defer netsim.SetLegacyNetHTTP(false)
+	nw := netsim.New()
+	farm, err := webserver.NewFarm(nw, "203.0.113.240")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer farm.Close()
+	site, err := farm.StartSite(webserver.WildcardDisallowSite("bench-frames.test", "203.0.113.201"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := nw.HTTPClient("198.51.100.249")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(site.URL() + "/robots.txt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
 // BenchmarkNetsimHTTPLegacyDial is the same request loop over the
 // compatibility transport that dials a fresh connection per request —
 // the pre-optimization behaviour — so the pooling win is visible in one
@@ -801,4 +829,43 @@ func BenchmarkPolicydHTTP(b *testing.B) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+}
+
+// BenchmarkPolicydFrameBatch serves 64-query batches over the binary
+// frame protocol on netsim — the wire the load generator uses with
+// -wire binary. Compare against BenchmarkPolicydHTTP (JSON, one query
+// per request) for the framing + batching win.
+func BenchmarkPolicydFrameBatch(b *testing.B) {
+	snap := benchPolicySnapshot(b)
+	svc := policyd.NewService(snap)
+	nw := netsim.New()
+	ln, err := nw.Listen("203.0.113.221", 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go policyd.ServeFrames(ln, svc)
+	defer ln.Close()
+	conn, err := nw.Dial(context.Background(), "198.51.100.221", "203.0.113.221:80")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fc, err := policyd.NewFrameClient(conn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fc.Close()
+	hosts := snap.Hosts()
+	qs := make([]policyd.Query, 64)
+	for i := range qs {
+		qs[i] = policyd.Query{Host: hosts[(i*31)%len(hosts)], Agent: "GPTBot", Path: "/about.html"}
+	}
+	out := make([]policyd.Decision, 0, len(qs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = fc.Decide(qs, out[:0])
+		if err != nil || len(out) != len(qs) {
+			b.Fatalf("frame batch: %d decisions, err %v", len(out), err)
+		}
+	}
+	b.ReportMetric(float64(len(qs)), "queries_per_op")
 }

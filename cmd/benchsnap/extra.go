@@ -6,7 +6,9 @@ package main
 // compiled against older revisions when reconstructing a baseline.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"testing"
@@ -17,6 +19,37 @@ import (
 	"repro/internal/robots"
 	"repro/internal/webserver"
 )
+
+// snapBatchSize is the query count per batched serving call in the wire
+// comparison benchmarks.
+const snapBatchSize = 256
+
+// benchNetsimHTTP measures one keep-alive GET round trip through a farm
+// site, on the fast path or with the stdlib-net/http knob on.
+func benchNetsimHTTP(b *testing.B, legacy bool) {
+	netsim.SetLegacyNetHTTP(legacy)
+	defer netsim.SetLegacyNetHTTP(false)
+	nw := netsim.New()
+	farm, err := webserver.NewFarm(nw, "203.0.113.241")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer farm.Close()
+	site, err := farm.StartSite(webserver.WildcardDisallowSite("snap-fast.test", "203.0.113.217"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := nw.HTTPClient("198.51.100.217")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(site.URL() + "/robots.txt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
 
 // benchSiteStartup measures one site start/stop cycle under either
 // hosting mode.
@@ -140,6 +173,90 @@ func init() {
 	})
 	register("legacy_site_startup", func(b *testing.B) {
 		benchSiteStartup(b, true)
+	})
+
+	// netsim_http_fast / netsim_http_legacy isolate the PR 6 framing
+	// rewrite: the same request loop as netsim_http on the netsim-native
+	// fast path (the default) and with the knob forcing stdlib net/http
+	// on both client and servers.
+	register("netsim_http_fast", func(b *testing.B) {
+		benchNetsimHTTP(b, false)
+	})
+	register("netsim_http_legacy", func(b *testing.B) {
+		benchNetsimHTTP(b, true)
+	})
+
+	// policyd_http_batch vs policyd_frame_batch is the serving-layer wire
+	// comparison: identical 256-query batches from one warmed service,
+	// once JSON-over-HTTP, once as binary frames, both over netsim.
+	register("policyd_http_batch", func(b *testing.B) {
+		svc, qs := snapPolicyService(b)
+		nw := netsim.New()
+		ln, err := nw.Listen("203.0.113.215", 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw.Register("snap-batch.test", "203.0.113.215")
+		srv := &http.Server{Handler: policyd.NewHandler(svc)}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			srv.Serve(ln)
+		}()
+		defer func() {
+			srv.Close()
+			<-done
+		}()
+		client := nw.HTTPClient("198.51.100.215")
+		batch := qs[:snapBatchSize]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body, err := json.Marshal(policyd.BatchRequest{Queries: batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := client.Post("http://snap-batch.test/v1/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var br policyd.BatchResponse
+			err = json.NewDecoder(resp.Body).Decode(&br)
+			resp.Body.Close()
+			if err != nil || len(br.Decisions) != len(batch) {
+				b.Fatalf("batch: %d decisions, err %v", len(br.Decisions), err)
+			}
+		}
+		b.ReportMetric(float64(snapBatchSize), "queries_per_op")
+	})
+
+	register("policyd_frame_batch", func(b *testing.B) {
+		svc, qs := snapPolicyService(b)
+		nw := netsim.New()
+		ln, err := nw.Listen("203.0.113.216", 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go policyd.ServeFrames(ln, svc)
+		defer ln.Close()
+		conn, err := nw.Dial(context.Background(), "198.51.100.216", "203.0.113.216:80")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fc, err := policyd.NewFrameClient(conn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fc.Close()
+		batch := qs[:snapBatchSize]
+		out := make([]policyd.Decision, 0, snapBatchSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err = fc.Decide(batch, out[:0])
+			if err != nil || len(out) != len(batch) {
+				b.Fatalf("frame batch: %d decisions, err %v", len(out), err)
+			}
+		}
+		b.ReportMetric(float64(snapBatchSize), "queries_per_op")
 	})
 
 	register("robots_parse_cached", func(b *testing.B) {

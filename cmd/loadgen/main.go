@@ -4,12 +4,19 @@
 //
 // By default it compiles a corpus snapshot and hammers the service
 // in-process (the pure engine cost); with -target it speaks the JSON
-// API to a running cmd/policyd over TCP. Hosts are drawn from a zipf
-// popularity distribution over the corpus domains, agents from a
-// configurable mix, and queries are issued singly or in batches.
+// API to a running cmd/policyd over TCP, and -wire binary switches to
+// the length-prefixed frame protocol (point -target at the daemon's
+// -frame-addr). Hosts are drawn from a zipf popularity distribution over
+// the corpus domains, agents from a configurable mix, and queries are
+// issued singly or in batches.
 //
 //	go run ./cmd/loadgen -scale 0.05 -n 500000
 //	go run ./cmd/loadgen -target http://localhost:8473 -batch 64 -concurrency 4
+//	go run ./cmd/loadgen -target localhost:8474 -wire binary -batch 256
+//
+// Latency percentiles come from a fixed-size per-worker reservoir
+// (unbiased sample of the sampled calls), so arbitrarily long runs hold
+// a bounded latency footprint and the drive loop stays allocation-free.
 //
 // The -o snapshot uses the benchsnap JSON schema, so serving
 // performance lands in the same BENCH_* artifact stream as the batch
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -65,6 +73,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "corpus scale (must match the target's)")
 	snapIdx := flag.Int("snap", len(corpus.Snapshots)-1, "corpus snapshot index (in-process mode)")
 	agentList := flag.String("agents", defaultAgents, "comma-separated agent mix")
+	wire := flag.String("wire", "json", "remote wire protocol: json (the HTTP API) or binary (the frame protocol)")
 	batch := flag.Int("batch", 1, "queries per call (1 = single-decision API)")
 	total := flag.Int("n", 200_000, "total decisions to issue")
 	concurrency := flag.Int("concurrency", 1, "parallel workload drivers")
@@ -74,20 +83,28 @@ func main() {
 	maxAllocs := flag.Int64("max-allocs", -1, "fail if in-process allocs/op exceed this (-1 = no gate)")
 	flag.Parse()
 
-	if err := run(*target, *seed, *scale, *snapIdx, *agentList, *batch, *total,
+	if err := run(*target, *seed, *scale, *snapIdx, *agentList, *wire, *batch, *total,
 		*concurrency, *zipfS, *out, *minQPS, *maxAllocs); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, seed int64, scale float64, snapIdx int, agentList string,
+func run(target string, seed int64, scale float64, snapIdx int, agentList, wire string,
 	batch, total, concurrency int, zipfS float64, out string, minQPS float64, maxAllocs int64) error {
 	if batch < 1 {
 		batch = 1
 	}
 	if concurrency < 1 {
 		concurrency = 1
+	}
+	switch wire {
+	case "json", "binary":
+	default:
+		return fmt.Errorf("unknown -wire %q (want json or binary)", wire)
+	}
+	if wire == "binary" && target == "" {
+		return fmt.Errorf("-wire binary needs -target (a cmd/policyd -frame-addr)")
 	}
 	ctx := context.Background()
 
@@ -120,20 +137,28 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList string
 
 	pool := buildWorkload(seed, hosts, agents, zipfS, minInt(total, 1<<16))
 	driver := &driver{
-		svc: svc, target: strings.TrimRight(target, "/"),
+		svc: svc, target: strings.TrimRight(target, "/"), wire: wire,
 		pool: pool, batch: batch,
 	}
+	latRand := stats.NewRand(seed).Fork("loadgen-latency")
 	// Warm the roster/memo paths so the timed run measures steady state.
-	driver.drive(0, minInt(len(pool), 4096), nil)
+	if err := driver.drive(0, minInt(len(pool), 4096), nil, newReservoir(latRand.Fork("warm"))); err != nil {
+		return err
+	}
 
 	// Timed run: each worker walks an offset slice of the cycle so the
-	// union covers the pool, sampling every 16th call's latency.
+	// union covers the pool, sampling every 16th call's latency into a
+	// fixed-size reservoir.
 	perWorker := total / concurrency
 	type workerOut struct {
-		lat    []time.Duration
+		res    *reservoir
 		counts [3]int64
+		err    error
 	}
 	outs := make([]workerOut, concurrency)
+	for w := range outs {
+		outs[w].res = newReservoir(latRand.Fork(fmt.Sprintf("worker-%d", w)))
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
@@ -141,7 +166,7 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList string
 		go func(w int) {
 			defer wg.Done()
 			o := &outs[w]
-			o.lat = driver.drive(w*perWorker, perWorker, &o.counts)
+			o.err = driver.drive(w*perWorker, perWorker, &o.counts, o.res)
 		}(w)
 	}
 	wg.Wait()
@@ -149,8 +174,17 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList string
 
 	var lats []time.Duration
 	var counts [3]int64
+	var sampled int64
+	var maxLat time.Duration
 	for _, o := range outs {
-		lats = append(lats, o.lat...)
+		if o.err != nil {
+			return o.err
+		}
+		lats = append(lats, o.res.samples...)
+		sampled += o.res.seen
+		if o.res.max > maxLat {
+			maxLat = o.res.max
+		}
 		for i := range counts {
 			counts[i] += o.counts[i]
 		}
@@ -171,8 +205,8 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList string
 	fmt.Fprintf(os.Stderr, "loadgen: %d decisions in %.2fs — %.0f decisions/sec (batch=%d, concurrency=%d)\n",
 		issued, elapsed.Seconds(), qps, batch, concurrency)
 	if len(lats) > 0 {
-		fmt.Fprintf(os.Stderr, "loadgen: per-call latency p50=%s p90=%s p99=%s max=%s (%d samples)\n",
-			pctile(lats, 0.50), pctile(lats, 0.90), pctile(lats, 0.99), lats[len(lats)-1], len(lats))
+		fmt.Fprintf(os.Stderr, "loadgen: per-call latency p50=%s p90=%s p99=%s max=%s (%d of %d sampled calls held)\n",
+			pctile(lats, 0.50), pctile(lats, 0.90), pctile(lats, 0.99), maxLat, len(lats), sampled)
 	}
 	if decided > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: decision mix: allow %.1f%% deny %.1f%% block %.1f%%\n",
@@ -234,10 +268,45 @@ func buildWorkload(seed int64, hosts, agents []string, zipfS float64, n int) []p
 	return qs
 }
 
-// driver issues the workload either in-process or over HTTP.
+// reservoirSize bounds the per-worker latency sample: enough for stable
+// p99 reads, independent of -n.
+const reservoirSize = 4096
+
+// reservoir is a fixed-size uniform sample (Vitter's Algorithm R) of the
+// latencies fed to it, plus the exact maximum. add performs no
+// allocations after construction, which keeps the drive loop's report
+// path off the garbage collector at -n 1000000+.
+type reservoir struct {
+	samples []time.Duration
+	seen    int64
+	max     time.Duration
+	rn      *stats.Rand
+}
+
+func newReservoir(rn *stats.Rand) *reservoir {
+	return &reservoir{samples: make([]time.Duration, 0, reservoirSize), rn: rn}
+}
+
+func (r *reservoir) add(d time.Duration) {
+	if d > r.max {
+		r.max = d
+	}
+	r.seen++
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if j := r.rn.Intn(int(r.seen)); j < len(r.samples) {
+		r.samples[j] = d
+	}
+}
+
+// driver issues the workload in-process, over the JSON HTTP API, or over
+// the binary frame protocol.
 type driver struct {
 	svc    *policyd.Service
 	target string
+	wire   string
 	pool   []policyd.Query
 	batch  int
 
@@ -245,33 +314,58 @@ type driver struct {
 	client     *http.Client
 }
 
-// drive issues n decisions starting at pool offset off, returning
-// sampled per-call latencies and accumulating the action mix.
-func (d *driver) drive(off, n int, counts *[3]int64) []time.Duration {
+// drive issues n decisions starting at pool offset off, feeding every
+// 16th call's latency into res and accumulating the action mix.
+func (d *driver) drive(off, n int, counts *[3]int64, res *reservoir) error {
 	const sampleEvery = 16
-	var lats []time.Duration
-	if d.svc != nil {
+	qs := make([]policyd.Query, 0, d.batch)
+	fill := func(done int) []policyd.Query {
+		qs = qs[:0]
+		for len(qs) < d.batch && done+len(qs) < n {
+			qs = append(qs, d.pool[(off+done+len(qs))%len(d.pool)])
+		}
+		return qs
+	}
+
+	if d.svc != nil || d.wire == "binary" {
+		// Both the in-process engine and the frame protocol answer with
+		// []policyd.Decision into a reused buffer — the loop is identical
+		// apart from the call.
+		var fc *policyd.FrameClient
+		if d.svc == nil {
+			conn, err := net.Dial("tcp", frameAddr(d.target))
+			if err != nil {
+				return fmt.Errorf("remote: %w", err)
+			}
+			fc, err = policyd.NewFrameClient(conn)
+			if err != nil {
+				return fmt.Errorf("remote: %w", err)
+			}
+			defer fc.Close()
+		}
 		out := make([]policyd.Decision, 0, d.batch)
-		qs := make([]policyd.Query, 0, d.batch)
 		calls := 0
 		for done := 0; done < n; {
-			qs = qs[:0]
-			for len(qs) < d.batch && done+len(qs) < n {
-				qs = append(qs, d.pool[(off+done+len(qs))%len(d.pool)])
-			}
+			qs := fill(done)
 			sample := calls%sampleEvery == 0
 			var t0 time.Time
 			if sample {
 				t0 = time.Now()
 			}
-			if d.batch == 1 {
-				dec := d.svc.Decide(qs[0])
-				out = append(out[:0], dec)
-			} else {
+			switch {
+			case d.svc != nil && d.batch == 1:
+				out = append(out[:0], d.svc.Decide(qs[0]))
+			case d.svc != nil:
 				out = d.svc.DecideBatch(qs, out[:0])
+			default:
+				var err error
+				out, err = fc.Decide(qs, out[:0])
+				if err != nil {
+					return fmt.Errorf("remote: %w", err)
+				}
 			}
 			if sample {
-				lats = append(lats, time.Since(t0))
+				res.add(time.Since(t0))
 			}
 			if counts != nil {
 				for _, dec := range out {
@@ -281,24 +375,20 @@ func (d *driver) drive(off, n int, counts *[3]int64) []time.Duration {
 			done += len(qs)
 			calls++
 		}
-		return lats
+		return nil
 	}
 
 	d.clientOnce.Do(func() { d.client = &http.Client{Timeout: 30 * time.Second} })
 	calls := 0
 	for done := 0; done < n; {
-		var qs []policyd.Query
-		for len(qs) < d.batch && done+len(qs) < n {
-			qs = append(qs, d.pool[(off+done+len(qs))%len(d.pool)])
-		}
+		qs := fill(done)
 		t0 := time.Now()
 		decs, err := d.remote(qs)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "loadgen: remote: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("remote: %w", err)
 		}
 		if calls%sampleEvery == 0 {
-			lats = append(lats, time.Since(t0))
+			res.add(time.Since(t0))
 		}
 		if counts != nil {
 			for _, dec := range decs {
@@ -315,7 +405,14 @@ func (d *driver) drive(off, n int, counts *[3]int64) []time.Duration {
 		done += len(qs)
 		calls++
 	}
-	return lats
+	return nil
+}
+
+// frameAddr normalizes -target for the frame protocol: an http:// URL
+// form is tolerated and reduced to its host:port.
+func frameAddr(target string) string {
+	addr := strings.TrimPrefix(target, "http://")
+	return strings.TrimSuffix(addr, "/")
 }
 
 // remote issues one API call for the query group.

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/policyd"
+	"repro/internal/stats"
+)
+
+func TestReservoirBelowCapKeepsEverything(t *testing.T) {
+	r := newReservoir(stats.NewRand(1).Fork("t"))
+	for i := 1; i <= 100; i++ {
+		r.add(time.Duration(i))
+	}
+	if len(r.samples) != 100 || r.seen != 100 {
+		t.Fatalf("len=%d seen=%d, want 100/100", len(r.samples), r.seen)
+	}
+	for i, d := range r.samples {
+		if d != time.Duration(i+1) {
+			t.Fatalf("sample %d = %d, want insertion order below cap", i, d)
+		}
+	}
+	if r.max != 100 {
+		t.Fatalf("max = %d, want 100", r.max)
+	}
+}
+
+func TestReservoirBoundedAndUnbiased(t *testing.T) {
+	const n = 200_000
+	r := newReservoir(stats.NewRand(7).Fork("t"))
+	for i := 1; i <= n; i++ {
+		r.add(time.Duration(i))
+	}
+	if len(r.samples) != reservoirSize {
+		t.Fatalf("len = %d, want the %d cap", len(r.samples), reservoirSize)
+	}
+	if r.seen != n {
+		t.Fatalf("seen = %d, want %d", r.seen, n)
+	}
+	if r.max != n {
+		t.Fatalf("max = %d, want the exact maximum %d", r.max, n)
+	}
+	// Unbiased sampling: the held sample's mean must sit near the stream
+	// mean (n/2). A hopelessly biased reservoir (e.g. keeping only the
+	// first or last cap-full) would be off by ~50%.
+	var sum float64
+	for _, d := range r.samples {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(r.samples))
+	if mean < 0.45*n/2 || mean > 1.55*n/2 {
+		t.Fatalf("sample mean %.0f too far from stream mean %d", mean, n/2)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	build := func() []time.Duration {
+		r := newReservoir(stats.NewRand(42).Fork("same"))
+		for i := 0; i < 50_000; i++ {
+			r.add(time.Duration(i))
+		}
+		return r.samples
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d diverged across identical seeds: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReservoirAddDoesNotAllocate(t *testing.T) {
+	r := newReservoir(stats.NewRand(3).Fork("t"))
+	for i := 0; i < 2*reservoirSize; i++ {
+		r.add(time.Duration(i)) // past the cap, into replacement mode
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.add(time.Duration(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("reservoir.add allocates %.1f per call in steady state, want 0", allocs)
+	}
+}
+
+func TestFrameAddr(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8474":         "localhost:8474",
+		"http://localhost:8474":  "localhost:8474",
+		"http://localhost:8474/": "localhost:8474",
+		"10.1.2.3:99":            "10.1.2.3:99",
+	} {
+		if got := frameAddr(in); got != want {
+			t.Errorf("frameAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDriveBinaryWireMatchesInProcess serves a small snapshot over the
+// frame protocol on a loopback listener and checks the binary drive path
+// returns the exact decision mix the in-process path computes.
+func TestDriveBinaryWireMatchesInProcess(t *testing.T) {
+	b := &policyd.Builder{Shards: 2}
+	b.Add("allow.test", policyd.HostConfig{})
+	b.Add("deny.test", policyd.HostConfig{RobotsTxt: "User-agent: *\nDisallow: /\n"})
+	b.Add("block.test", policyd.HostConfig{Blocklist: []string{"GPTBot"}})
+	snap, err := b.Build(context.Background(), "drive-test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := policyd.NewService(snap)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go policyd.ServeFrames(ln, svc)
+
+	pool := []policyd.Query{
+		{Host: "allow.test", Agent: "GPTBot", Path: "/"},
+		{Host: "deny.test", Agent: "GPTBot", Path: "/page"},
+		{Host: "block.test", Agent: "GPTBot", Path: "/"},
+		{Host: "allow.test", Agent: "ClaudeBot", Path: "/x"},
+	}
+	const n = 400
+
+	inproc := &driver{svc: svc, pool: pool, batch: 8}
+	var inCounts [3]int64
+	if err := inproc.drive(0, n, &inCounts, newReservoir(stats.NewRand(1).Fork("a"))); err != nil {
+		t.Fatal(err)
+	}
+
+	binary := &driver{target: ln.Addr().String(), wire: "binary", pool: pool, batch: 8}
+	var binCounts [3]int64
+	res := newReservoir(stats.NewRand(1).Fork("b"))
+	if err := binary.drive(0, n, &binCounts, res); err != nil {
+		t.Fatal(err)
+	}
+
+	if inCounts != binCounts {
+		t.Fatalf("decision mix diverged: in-process %v, binary wire %v", inCounts, binCounts)
+	}
+	if total := binCounts[0] + binCounts[1] + binCounts[2]; total != n {
+		t.Fatalf("binary wire decided %d of %d queries", total, n)
+	}
+	if res.seen == 0 {
+		t.Fatal("no latencies sampled")
+	}
+}

@@ -10,6 +10,10 @@
 // a timer, demonstrating atomic snapshot swaps under live traffic; pair
 // it with cmd/loadgen to watch the decision mix shift as the simulated
 // months pass.
+//
+// -frame-addr opens a second listener speaking the binary frame protocol
+// (see internal/policyd/frame.go) for batch clients that want to skip
+// HTTP and JSON entirely; drive it with cmd/loadgen -wire binary.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,6 +35,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8473", "TCP listen address")
+	frameAddr := flag.String("frame-addr", "", "second TCP listen address for the binary frame protocol (empty = off)")
 	seed := flag.Int64("seed", stats.DefaultSeed, "corpus seed")
 	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = 40,455 hosts)")
 	snapIdx := flag.Int("snap", len(corpus.Snapshots)-1, "corpus snapshot index to serve (0-14)")
@@ -37,13 +43,13 @@ func main() {
 	workers := flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
+	if err := run(*addr, *frameAddr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "policyd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
+func run(addr, frameAddr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -68,6 +74,20 @@ func run(addr string, seed int64, scale float64, snapIdx int, advance time.Durat
 	srv := &http.Server{Addr: addr, Handler: policyd.NewHandler(svc)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+
+	var frameLn net.Listener
+	if frameAddr != "" {
+		frameLn, err = net.Listen("tcp", frameAddr)
+		if err != nil {
+			return fmt.Errorf("frame listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "policyd: frame protocol on %s\n", frameLn.Addr())
+		go func() {
+			if err := policyd.ServeFrames(frameLn, svc); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "policyd: frame serve: %v\n", err)
+			}
+		}()
+	}
 
 	if advance > 0 {
 		go func() {
@@ -100,6 +120,9 @@ func run(addr string, seed int64, scale float64, snapIdx int, advance time.Durat
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if frameLn != nil {
+		frameLn.Close()
+	}
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/netsim"
 	"repro/internal/webserver"
 )
 
@@ -31,5 +32,31 @@ func TestFarmHostingParitySurvey(t *testing.T) {
 	}
 	if farm.ActiveBlockers == 0 || farm.InherentlyBlocked == 0 {
 		t.Errorf("degenerate survey result: %+v", farm)
+	}
+}
+
+// TestFastHTTPParitySurvey runs the §6.2 survey on the netsim-native
+// fast HTTP path (the default) and with the compatibility knob forcing
+// stdlib net/http on both sides, asserting the aggregate result is
+// identical — the hand-rolled framing must change no verdict.
+func TestFastHTTPParitySurvey(t *testing.T) {
+	run := func(legacy bool) *SurveyResult {
+		if legacy {
+			netsim.SetLegacyNetHTTP(true)
+			defer netsim.SetLegacyNetHTTP(false)
+		}
+		res, err := RunSurvey(context.Background(), 300, 11, 8, DefaultDetector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(fast, legacy) {
+		t.Errorf("survey diverged:\nfast:   %+v\nlegacy: %+v", fast, legacy)
+	}
+	if fast.ActiveBlockers == 0 || fast.InherentlyBlocked == 0 {
+		t.Errorf("degenerate survey result: %+v", fast)
 	}
 }

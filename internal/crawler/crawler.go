@@ -83,8 +83,12 @@ type Profile struct {
 
 // Crawler is a runnable crawler instance.
 type Crawler struct {
-	profile     Profile
-	client      *http.Client
+	profile Profile
+	client  *http.Client
+	// baseHdr carries the preset User-Agent and is shared across all of
+	// this crawler's requests; transports only read request headers, so
+	// one map serves every fetch.
+	baseHdr     http.Header
 	visits      int
 	robotsCache map[string]*robots.Robots
 }
@@ -130,6 +134,7 @@ func New(nw *netsim.Network, p Profile) (*Crawler, error) {
 	return &Crawler{
 		profile:     p,
 		client:      nw.HTTPClient(p.SourceIP),
+		baseHdr:     http.Header{"User-Agent": []string{p.UserAgent}},
 		robotsCache: make(map[string]*robots.Robots),
 	}, nil
 }
@@ -353,11 +358,21 @@ var copyBufPool = sync.Pool{
 }
 
 func (c *Crawler) get(ctx context.Context, rawURL string) (int, string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	u, err := url.Parse(rawURL)
 	if err != nil {
 		return 0, "", err
 	}
-	req.Header.Set("User-Agent", c.profile.UserAgent)
+	// Built by hand instead of NewRequestWithContext so every fetch
+	// shares baseHdr rather than allocating and populating a fresh map.
+	req := (&http.Request{
+		Method:     http.MethodGet,
+		URL:        u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     c.baseHdr,
+		Host:       u.Host,
+	}).WithContext(ctx)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return 0, "", err

@@ -106,6 +106,90 @@ func TestKeepAliveParityServerLogs(t *testing.T) {
 	}
 }
 
+// TestFastHTTPParityPassiveStudy runs the full §5 passive study on the
+// netsim-native fast HTTP path (the default) and with the compatibility
+// knob forcing stdlib net/http on both sides, asserting identical
+// results — the hand-rolled framing must be invisible to the
+// measurement.
+func TestFastHTTPParityPassiveStudy(t *testing.T) {
+	run := func(legacy bool) *PassiveResult {
+		if legacy {
+			netsim.SetLegacyNetHTTP(true)
+			defer netsim.SetLegacyNetHTTP(false)
+		}
+		res, err := RunPassive(context.Background(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(fast.Verdicts, legacy.Verdicts) {
+		t.Errorf("verdicts diverged:\nfast:   %v\nlegacy: %v", fast.Verdicts, legacy.Verdicts)
+	}
+	if !reflect.DeepEqual(fast.IPVerified, legacy.IPVerified) {
+		t.Errorf("IP verification diverged:\nfast:   %v\nlegacy: %v", fast.IPVerified, legacy.IPVerified)
+	}
+	if !reflect.DeepEqual(fast.Visitors, legacy.Visitors) {
+		t.Errorf("visitor sets diverged:\nfast:   %v\nlegacy: %v", fast.Visitors, legacy.Visitors)
+	}
+}
+
+// TestFastHTTPParityServerLogs drives the crawler fleet at one site under
+// the fast path and under stdlib net/http, asserting the server logs are
+// identical record for record (everything but wall-clock time): same
+// source IPs, same user agents, same paths in the same order, same
+// statuses and byte counts.
+func TestFastHTTPParityServerLogs(t *testing.T) {
+	capture := func(legacy bool) []webserver.Record {
+		if legacy {
+			netsim.SetLegacyNetHTTP(true)
+			defer netsim.SetLegacyNetHTTP(false)
+		}
+		nw := netsim.New()
+		site, err := webserver.Start(nw, webserver.WildcardDisallowSite("parity.test", "203.0.113.90"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer site.Close()
+		profiles := []crawler.Profile{
+			{Token: "GPTBot", SourceIP: "24.0.1.10", Behavior: crawler.Compliant},
+			{Token: "Bytespider", SourceIP: "30.0.1.10", Behavior: crawler.FetchIgnore},
+			{Token: "WebFetcher", SourceIP: "100.64.0.10", Behavior: crawler.NoFetch},
+			{Token: "BuggyBot", SourceIP: "100.65.0.10", Behavior: crawler.BuggyFetch},
+		}
+		ctx := context.Background()
+		for _, p := range profiles {
+			cr, err := crawler.New(nw, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wave := 0; wave < 2; wave++ {
+				if _, err := cr.Crawl(ctx, site.URL()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return site.Log()
+	}
+	fast := comparableLog(capture(false))
+	legacy := comparableLog(capture(true))
+	if len(fast) == 0 {
+		t.Fatal("no traffic captured")
+	}
+	if !reflect.DeepEqual(fast, legacy) {
+		if len(fast) != len(legacy) {
+			t.Fatalf("log lengths diverged: fast %d, legacy %d", len(fast), len(legacy))
+		}
+		for i := range fast {
+			if fast[i] != legacy[i] {
+				t.Fatalf("log record %d diverged:\nfast:   %+v\nlegacy: %+v", i, fast[i], legacy[i])
+			}
+		}
+	}
+}
+
 // TestFarmHostingParityPassiveStudy runs the full §5 passive study under
 // farm hosting (the default) and with the compatibility knob forcing the
 // legacy per-site servers, asserting identical results — virtual-host

@@ -249,6 +249,14 @@ func (n *Network) Dialer(sourceIP string) func(ctx context.Context, network, add
 // kept-alive connection, and server logs still attribute every request to
 // the client's simulated source IP via CLF.
 //
+// By default the client rides the netsim-native fast path (see
+// fasthttp.go): a hand-rolled HTTP/1.1 writer/reader over the buffered
+// duplex conns that skips stdlib net/http's per-request machinery while
+// keeping the exact wire format and keep-alive pooling semantics.
+// Requests outside the fast path's closed world fall back to a stdlib
+// transport transparently, and the SetLegacyNetHTTP knob restores the
+// stdlib stack wholesale for parity testing.
+//
 // The client carries no overall request timeout: wrapping every request
 // in a deadline context costs several allocations and a timer on the hot
 // path, and the simulated network cannot stall silently (a closed peer
@@ -257,19 +265,23 @@ func (n *Network) Dialer(sourceIP string) func(ctx context.Context, network, add
 // driver in this repo already does — or set Timeout on the returned
 // client.
 func (n *Network) HTTPClient(sourceIP string) *http.Client {
-	// Every client in this codebase issues requests sequentially, so one
-	// idle connection per host is all reuse requires; the caps keep
-	// surveys that touch thousands of hosts from pinning buffer memory.
-	tr := &http.Transport{
-		DialContext:         n.Dialer(sourceIP),
-		MaxIdleConns:        64,
-		MaxIdleConnsPerHost: 2,
-		IdleConnTimeout:     90 * time.Second,
+	if legacyNetHTTP.Load() || legacyPerRequestDial.Load() {
+		// Every client in this codebase issues requests sequentially, so
+		// one idle connection per host is all reuse requires; the caps
+		// keep surveys that touch thousands of hosts from pinning buffer
+		// memory.
+		tr := &http.Transport{
+			DialContext:         n.Dialer(sourceIP),
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 2,
+			IdleConnTimeout:     90 * time.Second,
+		}
+		if legacyPerRequestDial.Load() {
+			tr.DisableKeepAlives = true
+		}
+		return &http.Client{Transport: tr}
 	}
-	if legacyPerRequestDial.Load() {
-		tr.DisableKeepAlives = true
-	}
-	return &http.Client{Transport: tr}
+	return &http.Client{Transport: newFastTransport(n, sourceIP)}
 }
 
 // maxBacklog bounds a listener's accept queue, like a kernel SYN queue:

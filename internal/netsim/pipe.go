@@ -89,6 +89,9 @@ func (h *halfPipe) read(p []byte) (int, error) {
 				h.r = (h.r + c) % len(h.buf)
 				h.n -= c
 			}
+			if h.writerGone && h.n == 0 {
+				h.releaseLocked() // FIN already seen and now fully drained
+			}
 			h.cond.Broadcast() // space freed: wake a blocked writer
 			return nr, nil
 		case h.writerGone:
@@ -164,13 +167,24 @@ func (h *halfPipe) closeWrite() {
 	h.cond.Broadcast()
 }
 
-// releaseLocked returns the ring storage to the pool once neither side
-// can touch it again. Callers must hold h.mu.
+// releaseLocked returns the ring storage to the pool once no byte can
+// ever be read from it again: the read side closed (undelivered bytes
+// are dropped and writes fail with ErrConnReset), or the write side
+// closed and the reader has drained everything (future reads see EOF
+// without touching the ring). Releasing on either condition — not only
+// when both conns close — matters because an idle keep-alive conn whose
+// peer closed may never be touched again by its owner; waiting for a
+// symmetric Close would leak both rings until GC. Callers must hold
+// h.mu.
 func (h *halfPipe) releaseLocked() {
-	if h.readerGone && h.writerGone && h.buf != nil {
+	if h.buf == nil {
+		return
+	}
+	if h.readerGone || (h.writerGone && h.n == 0) {
 		bufPool.Put(h.buf) //nolint:staticcheck // fixed-size []byte, no pointer indirection concern
 		h.buf = nil
 		h.n = 0
+		h.r = 0
 	}
 }
 

@@ -1,0 +1,289 @@
+package policyd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"unsafe"
+)
+
+// The binary frame protocol: /v1/batch semantics without HTTP or JSON.
+//
+// JSON encode/decode dominates the batched decision path once transport
+// framing is fast — marshalling a 4096-query batch costs more than
+// answering it. The frame protocol keeps the exact batch semantics
+// (queries in, positionally aligned decisions out, one consistent
+// snapshot per batch) on a length-prefixed little-endian wire:
+//
+//	conn preamble:  4-byte magic "RPB1" (protocol name + version)
+//	request frame:  u32 payload length, then payload:
+//	                  u32 query count
+//	                  per query: u16 len + bytes for host, agent, path
+//	response frame: u32 payload length, then payload:
+//	                  u32 decision count
+//	                  per decision: 1 byte action, 1 byte signal
+//
+// A malformed or oversized frame closes the connection — there is no
+// in-band error channel, exactly like a broken-framing TCP peer. The
+// limits are shared with the JSON API: MaxBatch queries per frame,
+// maxBatchBytes payload bytes.
+
+// FrameMagic is the 4-byte connection preamble; the trailing byte is the
+// protocol version.
+var FrameMagic = [4]byte{'R', 'P', 'B', '1'}
+
+// maxFramePayload bounds one frame's payload, mirroring the JSON API's
+// body cap.
+const maxFramePayload = maxBatchBytes
+
+// Frame decode/encode errors.
+var (
+	ErrFrameTruncated = errors.New("policyd: frame truncated")
+	ErrFrameOversized = errors.New("policyd: frame exceeds limits")
+	ErrFrameGarbled   = errors.New("policyd: frame garbled")
+)
+
+// AppendQueryFrame appends one complete request frame (length prefix
+// included) for qs to dst and returns the extended slice. It fails when
+// a batch exceeds the wire limits (query count, string lengths, total
+// payload).
+func AppendQueryFrame(dst []byte, qs []Query) ([]byte, error) {
+	if len(qs) > MaxBatch {
+		return dst, fmt.Errorf("%w: %d queries > %d", ErrFrameOversized, len(qs), MaxBatch)
+	}
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length backfilled below
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(qs)))
+	for _, q := range qs {
+		var err error
+		if dst, err = appendString16(dst, q.Host); err != nil {
+			return dst[:base], err
+		}
+		if dst, err = appendString16(dst, q.Agent); err != nil {
+			return dst[:base], err
+		}
+		if dst, err = appendString16(dst, q.Path); err != nil {
+			return dst[:base], err
+		}
+	}
+	payload := len(dst) - base - 4
+	if payload > maxFramePayload {
+		return dst[:base], fmt.Errorf("%w: payload %d bytes", ErrFrameOversized, payload)
+	}
+	binary.LittleEndian.PutUint32(dst[base:], uint32(payload))
+	return dst, nil
+}
+
+func appendString16(dst []byte, s string) ([]byte, error) {
+	if len(s) > 0xFFFF {
+		return dst, fmt.Errorf("%w: string of %d bytes", ErrFrameOversized, len(s))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+// DecodeQueryPayload decodes a request frame's payload (the bytes after
+// the u32 length prefix), appending to qs. Malformed input — truncated
+// strings, trailing bytes, an oversized count — returns an error, never
+// panics.
+//
+// The decoded query strings alias payload to keep the hot serve loop
+// allocation-free; they are valid only until the caller reuses the
+// buffer, which is safe here because Snapshot.Decide never retains its
+// query.
+func DecodeQueryPayload(payload []byte, qs []Query) ([]Query, error) {
+	if len(payload) > maxFramePayload {
+		return qs, ErrFrameOversized
+	}
+	if len(payload) < 4 {
+		return qs, ErrFrameTruncated
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	if count > MaxBatch {
+		return qs, fmt.Errorf("%w: %d queries > %d", ErrFrameOversized, count, MaxBatch)
+	}
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		var q Query
+		var err error
+		if q.Host, off, err = readString16(payload, off); err != nil {
+			return qs, err
+		}
+		if q.Agent, off, err = readString16(payload, off); err != nil {
+			return qs, err
+		}
+		if q.Path, off, err = readString16(payload, off); err != nil {
+			return qs, err
+		}
+		qs = append(qs, q)
+	}
+	if off != len(payload) {
+		return qs, fmt.Errorf("%w: %d trailing bytes", ErrFrameGarbled, len(payload)-off)
+	}
+	return qs, nil
+}
+
+// readString16 reads a u16-length-prefixed string aliasing payload.
+func readString16(payload []byte, off int) (string, int, error) {
+	if off+2 > len(payload) {
+		return "", off, ErrFrameTruncated
+	}
+	n := int(binary.LittleEndian.Uint16(payload[off:]))
+	off += 2
+	if off+n > len(payload) {
+		return "", off, ErrFrameTruncated
+	}
+	if n == 0 {
+		return "", off, nil
+	}
+	s := unsafe.String(&payload[off], n)
+	return s, off + n, nil
+}
+
+// AppendDecisionFrame appends one complete response frame (length prefix
+// included) for ds to dst.
+func AppendDecisionFrame(dst []byte, ds []Decision) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(4+2*len(ds)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ds)))
+	for _, d := range ds {
+		dst = append(dst, byte(d.Action), byte(d.Signal))
+	}
+	return dst
+}
+
+// DecodeDecisionPayload decodes a response frame's payload, appending to
+// ds. Out-of-range action or signal bytes are rejected.
+func DecodeDecisionPayload(payload []byte, ds []Decision) ([]Decision, error) {
+	if len(payload) < 4 {
+		return ds, ErrFrameTruncated
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	if count > MaxBatch {
+		return ds, fmt.Errorf("%w: %d decisions > %d", ErrFrameOversized, count, MaxBatch)
+	}
+	if len(payload) != 4+2*int(count) {
+		return ds, fmt.Errorf("%w: %d bytes for %d decisions", ErrFrameGarbled, len(payload), count)
+	}
+	for i := uint32(0); i < count; i++ {
+		a, s := payload[4+2*i], payload[5+2*i]
+		if a > byte(Block) || s > byte(SignalMeta) {
+			return ds, fmt.Errorf("%w: decision bytes (%d, %d)", ErrFrameGarbled, a, s)
+		}
+		ds = append(ds, Decision{Action: Action(a), Signal: Signal(s)})
+	}
+	return ds, nil
+}
+
+// ServeFrames accepts connections from ln and answers frame batches from
+// svc until the listener closes; it returns the Accept error (net.ErrClosed
+// on a clean shutdown). Each connection gets its own goroutine and reused
+// buffers; a protocol violation closes that connection only.
+func ServeFrames(ln net.Listener, svc *Service) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveFrameConn(c, svc)
+	}
+}
+
+func serveFrameConn(c net.Conn, svc *Service) {
+	defer c.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(c, magic[:]); err != nil || magic != FrameMagic {
+		return
+	}
+	var lenBuf [4]byte
+	payload := make([]byte, 0, 64*1024)
+	wbuf := make([]byte, 0, 16*1024)
+	var qs []Query
+	var out []Decision
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxFramePayload {
+			return
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		var err error
+		qs, err = DecodeQueryPayload(payload, qs[:0])
+		if err != nil {
+			return
+		}
+		out = svc.DecideBatch(qs, out[:0])
+		wbuf = AppendDecisionFrame(wbuf[:0], out)
+		if _, err := c.Write(wbuf); err != nil {
+			return
+		}
+	}
+}
+
+// FrameClient speaks the frame protocol over one connection. It is not
+// safe for concurrent use — batches are strictly request/response, like
+// a non-pipelined HTTP client; open one per worker.
+type FrameClient struct {
+	c      net.Conn
+	lenBuf [4]byte
+	wbuf   []byte
+	rbuf   []byte
+}
+
+// NewFrameClient sends the protocol preamble on c and returns a client.
+func NewFrameClient(c net.Conn) (*FrameClient, error) {
+	if _, err := c.Write(FrameMagic[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("policyd: frame preamble: %w", err)
+	}
+	return &FrameClient{c: c, wbuf: make([]byte, 0, 16*1024), rbuf: make([]byte, 0, 16*1024)}, nil
+}
+
+// Decide answers one batch, appending the decisions to out (pass a
+// pre-sized out[:0] for an allocation-free exchange). The server answers
+// exactly one decision per query, in order.
+func (fc *FrameClient) Decide(qs []Query, out []Decision) ([]Decision, error) {
+	var err error
+	fc.wbuf, err = AppendQueryFrame(fc.wbuf[:0], qs)
+	if err != nil {
+		return out, err
+	}
+	if _, err := fc.c.Write(fc.wbuf); err != nil {
+		return out, err
+	}
+	if _, err := io.ReadFull(fc.c, fc.lenBuf[:]); err != nil {
+		return out, err
+	}
+	n := binary.LittleEndian.Uint32(fc.lenBuf[:])
+	if n > maxFramePayload {
+		return out, ErrFrameOversized
+	}
+	if cap(fc.rbuf) < int(n) {
+		fc.rbuf = make([]byte, n)
+	}
+	fc.rbuf = fc.rbuf[:n]
+	if _, err := io.ReadFull(fc.c, fc.rbuf); err != nil {
+		return out, err
+	}
+	start := len(out)
+	out, err = DecodeDecisionPayload(fc.rbuf, out)
+	if err != nil {
+		return out, err
+	}
+	if len(out)-start != len(qs) {
+		return out, fmt.Errorf("%w: %d decisions for %d queries", ErrFrameGarbled, len(out)-start, len(qs))
+	}
+	return out, nil
+}
+
+// Close closes the underlying connection.
+func (fc *FrameClient) Close() error { return fc.c.Close() }

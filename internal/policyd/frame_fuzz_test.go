@@ -1,0 +1,45 @@
+package policyd
+
+import (
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary payloads at both frame decoders: any
+// input must either decode (and then re-encode losslessly) or return an
+// error — never panic. This is the boundary a hostile frame peer can
+// reach before the connection is dropped.
+func FuzzFrameDecode(f *testing.F) {
+	seedQ, err := AppendQueryFrame(nil, []Query{
+		{Host: "a.test", Agent: "GPTBot", Path: "/"},
+		{Host: "b.test", Agent: "ClaudeBot", Path: "/images/art.png"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedQ[4:])
+	seedD := AppendDecisionFrame(nil, []Decision{{Allow, SignalNone}, {Block, SignalBlocker}})
+	f.Add(seedD[4:])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add([]byte{1, 0, 0, 0, 5, 0, 'a'})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if qs, err := DecodeQueryPayload(payload, nil); err == nil {
+			re, err := AppendQueryFrame(nil, qs)
+			if err != nil {
+				t.Fatalf("decoded queries do not re-encode: %v", err)
+			}
+			back, err := DecodeQueryPayload(re[4:], nil)
+			if err != nil || len(back) != len(qs) {
+				t.Fatalf("re-encoded queries do not round-trip: %d vs %d, %v", len(back), len(qs), err)
+			}
+		}
+		if ds, err := DecodeDecisionPayload(payload, nil); err == nil {
+			re := AppendDecisionFrame(nil, ds)
+			back, err := DecodeDecisionPayload(re[4:], nil)
+			if err != nil || len(back) != len(ds) {
+				t.Fatalf("re-encoded decisions do not round-trip: %d vs %d, %v", len(back), len(ds), err)
+			}
+		}
+	})
+}

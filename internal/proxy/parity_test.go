@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/netsim"
 	"repro/internal/webserver"
 )
 
@@ -31,5 +32,32 @@ func TestFarmHostingParityInferenceSurvey(t *testing.T) {
 	}
 	if farm.Inconclusive == 0 || farm.OnBlock == 0 {
 		t.Errorf("degenerate survey result: %+v", farm)
+	}
+}
+
+// TestFastHTTPParityInferenceSurvey runs the §6.3 Figure 7 survey on the
+// netsim-native fast HTTP path (the default) and with the compatibility
+// knob forcing stdlib net/http on both sides, asserting identical
+// classifications and robots correlations. The proxied population mixes
+// 403-with-body blocks and plain pages, exercising both response shapes.
+func TestFastHTTPParityInferenceSurvey(t *testing.T) {
+	run := func(legacy bool) *CFSurveyResult {
+		if legacy {
+			netsim.SetLegacyNetHTTP(true)
+			defer netsim.SetLegacyNetHTTP(false)
+		}
+		res, err := RunInferenceSurvey(context.Background(), 300, 11, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	legacy := run(true)
+	if !reflect.DeepEqual(fast, legacy) {
+		t.Errorf("inference survey diverged:\nfast:   %+v\nlegacy: %+v", fast, legacy)
+	}
+	if fast.Inconclusive == 0 || fast.OnBlock == 0 {
+		t.Errorf("degenerate survey result: %+v", fast)
 	}
 }

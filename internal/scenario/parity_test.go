@@ -53,6 +53,51 @@ func TestKeepAliveParityObservedScenario(t *testing.T) {
 	}
 }
 
+// TestFastHTTPParityObservedScenario runs the observed-world builtin on
+// the netsim-native fast HTTP path (the default) and with the
+// compatibility knob forcing stdlib net/http on both client and servers,
+// asserting the entire result — monthly metrics, verdicts, totals — is
+// identical. This is the broadest parity check: crawls, blockers, 421s
+// from the farm, and site churn all run over the hand-rolled framing.
+func TestFastHTTPParityObservedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario parity run in -short mode")
+	}
+	run := func(legacy bool) *Result {
+		if legacy {
+			netsim.SetLegacyNetHTTP(true)
+			defer netsim.SetLegacyNetHTTP(false)
+		}
+		res, err := Run(context.Background(), Observed(11, 8, 12), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	legacy := run(true)
+
+	if !reflect.DeepEqual(fast.Verdicts, legacy.Verdicts) {
+		t.Errorf("verdicts diverged:\nfast:   %v\nlegacy: %v", fast.Verdicts, legacy.Verdicts)
+	}
+	if fast.TotalVisits != legacy.TotalVisits ||
+		fast.TotalDisallowedBytes != legacy.TotalDisallowedBytes ||
+		fast.TotalBlockedRequests != legacy.TotalBlockedRequests {
+		t.Errorf("totals diverged: fast (%d, %d, %d) vs legacy (%d, %d, %d)",
+			fast.TotalVisits, fast.TotalDisallowedBytes, fast.TotalBlockedRequests,
+			legacy.TotalVisits, legacy.TotalDisallowedBytes, legacy.TotalBlockedRequests)
+	}
+	if len(fast.Months) != len(legacy.Months) {
+		t.Fatalf("month counts diverged: %d vs %d", len(fast.Months), len(legacy.Months))
+	}
+	for m := range fast.Months {
+		if !reflect.DeepEqual(fast.Months[m], legacy.Months[m]) {
+			t.Errorf("month %d diverged:\nfast:   %+v\nlegacy: %+v",
+				m, fast.Months[m], legacy.Months[m])
+		}
+	}
+}
+
 // TestFarmHostingParityObservedScenario runs the observed-world builtin
 // with the per-shard virtual-host farms and with the compatibility knob
 // forcing a dedicated server per site, asserting the entire result —

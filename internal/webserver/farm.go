@@ -52,8 +52,14 @@ type Farm struct {
 	ip     string
 	ln     net.Listener
 	srv    *http.Server
+	fsrv   *fastServer
 	done   chan struct{}
 	legacy bool
+
+	// gen invalidates per-connection dispatch memos: it bumps after every
+	// hosts-map mutation (StartSite, Remove, Close), so a memo stamped
+	// with an older generation re-resolves through the map once.
+	gen atomic.Uint64
 
 	mu    sync.RWMutex
 	hosts map[string]*Site // lowercased Host (domain or IP) -> site
@@ -81,6 +87,21 @@ type farmConnKey struct{}
 type farmConn struct {
 	mu     sync.Mutex
 	shards map[*Site]*logShard
+
+	// memo caches the connection's last dispatch result. Connections
+	// almost always speak to one Host, so the hot path is one atomic
+	// load plus a string compare instead of an RLock'd map probe and a
+	// shard-map lookup per request.
+	memo atomic.Pointer[siteMemo]
+}
+
+// siteMemo is one immutable dispatch result, valid while the farm's
+// generation is unchanged.
+type siteMemo struct {
+	gen   uint64
+	key   string
+	site  *Site
+	shard *logShard
 }
 
 // shardFor returns the connection's shard for the site, creating and
@@ -123,8 +144,24 @@ func NewFarm(nw *netsim.Network, ip string) (*Farm, error) {
 		return nil, fmt.Errorf("webserver: farm listener: %w", err)
 	}
 	f.ln = ln
-	f.done = make(chan struct{})
 	f.conns = make(map[net.Conn]*farmConn)
+	if !netsim.LegacyNetHTTP() {
+		f.fsrv = startFastServer(ln, fastHooks{
+			connOpen: func(c net.Conn) any {
+				fc := &farmConn{shards: make(map[*Site]*logShard)}
+				f.connMu.Lock()
+				f.conns[c] = fc
+				f.connMu.Unlock()
+				return fc
+			},
+			connClose: func(c net.Conn, _ any) { f.retireConn(c) },
+			serve: func(carrier any, w *fastResponseWriter, r *http.Request) {
+				f.handleReq(carrier.(*farmConn), w, r)
+			},
+		})
+		return f, nil
+	}
+	f.done = make(chan struct{})
 	f.srv = &http.Server{
 		Handler: http.HandlerFunc(f.dispatch),
 		ConnContext: func(ctx context.Context, c net.Conn) context.Context {
@@ -203,6 +240,7 @@ func (f *Farm) StartSite(cfg Config) (*Site, error) {
 	}
 	f.members[s] = true
 	f.mu.Unlock()
+	f.gen.Add(1)
 
 	f.nw.Register(cfg.Domain, cfg.IP)
 	return s, nil
@@ -236,8 +274,7 @@ func (f *Farm) startSiteLegacy(cfg Config) (*Site, error) {
 	if f.closed || f.hosts[domainKey] != nil {
 		closed := f.closed
 		f.mu.Unlock()
-		s.srv.Close()
-		<-s.done
+		s.shutdownServer()
 		if closed {
 			return nil, fmt.Errorf("webserver: farm is closed")
 		}
@@ -246,6 +283,7 @@ func (f *Farm) startSiteLegacy(cfg Config) (*Site, error) {
 	f.hosts[domainKey] = s
 	f.members[s] = true
 	f.mu.Unlock()
+	f.gen.Add(1)
 	return s, nil
 }
 
@@ -285,11 +323,10 @@ func (f *Farm) Remove(s *Site) error {
 		}
 	}
 	f.mu.Unlock()
+	f.gen.Add(1)
 
-	if s.srv != nil {
-		err := s.srv.Close()
-		<-s.done
-		return err
+	if s.srv != nil || s.fsrv != nil {
+		return s.shutdownServer()
 	}
 	// Close the connections that served the removed site, exactly as
 	// closing a dedicated per-site server would: their goroutines and
@@ -331,14 +368,17 @@ func (f *Farm) Close() error {
 	f.hosts = make(map[string]*Site)
 	f.aliasRefs = make(map[string]int)
 	f.mu.Unlock()
+	f.gen.Add(1)
 
 	var err error
 	for _, s := range remaining {
-		if s.srv != nil {
-			if cerr := s.srv.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-			<-s.done
+		if cerr := s.shutdownServer(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if f.fsrv != nil {
+		if cerr := f.fsrv.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
 	if f.srv != nil {
@@ -350,9 +390,27 @@ func (f *Farm) Close() error {
 	return err
 }
 
-// dispatch routes one request to the site owning its Host header.
+// dispatch routes one request to the site owning its Host header
+// (stdlib-server entry point; the fast server calls handleReq directly
+// with its per-connection carrier).
 func (f *Farm) dispatch(w http.ResponseWriter, r *http.Request) {
+	fc, _ := r.Context().Value(farmConnKey{}).(*farmConn)
+	f.handleReq(fc, w, r)
+}
+
+// handleReq resolves the request's Host to a site and serves it. The
+// per-connection memo short-circuits the host-map RLock and the shard
+// lookup for the dominant one-conn-one-site case; any hosts-map
+// mutation bumps f.gen, which invalidates every memo at once.
+func (f *Farm) handleReq(fc *farmConn, w http.ResponseWriter, r *http.Request) {
 	key := hostKey(r.Host)
+	gen := f.gen.Load()
+	if fc != nil {
+		if m := fc.memo.Load(); m != nil && m.gen == gen && m.key == key {
+			m.site.serve(w, r, m.shard)
+			return
+		}
+	}
 	f.mu.RLock()
 	s := f.hosts[key]
 	f.mu.RUnlock()
@@ -364,8 +422,9 @@ func (f *Farm) dispatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sh := s.fallback
-	if fc, _ := r.Context().Value(farmConnKey{}).(*farmConn); fc != nil {
+	if fc != nil {
 		sh = fc.shardFor(s)
+		fc.memo.Store(&siteMemo{gen: gen, key: key, site: s, shard: sh})
 	}
 	s.serve(w, r, sh)
 }

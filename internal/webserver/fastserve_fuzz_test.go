@@ -1,0 +1,66 @@
+package webserver
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fuzzServerConn serves a fixed byte stream as a net.Conn: reads drain
+// the buffer then report io.EOF, writes are discarded. It stands in for
+// a client that sends exactly the fuzzed bytes and hangs up.
+type fuzzServerConn struct{ data []byte }
+
+func (c *fuzzServerConn) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, c.data)
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func (c *fuzzServerConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *fuzzServerConn) Close() error                     { return nil }
+func (c *fuzzServerConn) LocalAddr() net.Addr              { return fuzzServerAddr{} }
+func (c *fuzzServerConn) RemoteAddr() net.Addr             { return fuzzServerAddr{} }
+func (c *fuzzServerConn) SetDeadline(time.Time) error      { return nil }
+func (c *fuzzServerConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fuzzServerConn) SetWriteDeadline(time.Time) error { return nil }
+
+type fuzzServerAddr struct{}
+
+func (fuzzServerAddr) Network() string { return "netsim" }
+func (fuzzServerAddr) String() string  { return "198.51.100.2:1234" }
+
+// FuzzFastRequestParse throws arbitrary bytes at the fast server's
+// request parser: any input must either parse into well-formed requests
+// (keep-alive style, several per connection) or return an error — never
+// panic, never loop forever.
+func FuzzFastRequestParse(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: a.test\r\nUser-Agent: GPTBot/1.0\r\n\r\n"))
+	f.Add([]byte("GET /a HTTP/1.1\r\nHost: a.test\r\n\r\nGET /b HTTP/1.1\r\nHost: a.test\r\n\r\n"))
+	f.Add([]byte("POST /submit HTTP/1.1\r\nHost: a.test\r\nContent-Length: 3\r\n\r\nabc"))
+	f.Add([]byte("HEAD /robots.txt HTTP/1.0\r\nHost: a.test\r\n\r\n"))
+	f.Add([]byte("GET /a%20b?q=1#frag HTTP/1.1\r\nHost: a\r\nX-Weird: v\r\n\r\n"))
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: a\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"))
+	f.Add([]byte("GET / HTTP/1.1\r\nConnection: close\r\nHost: a\r\n\r\n"))
+	f.Add([]byte("BROKEN"))
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: a\r\nContent-Length: 99999999\r\n\r\nshort"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := newSrvConnState(&fuzzServerConn{data: data})
+		defer st.release()
+		for i := 0; i < 64; i++ {
+			if err := st.readRequest(); err != nil {
+				return
+			}
+			if st.req.Method == "" || st.req.URL == nil || st.req.RequestURI == "" {
+				t.Fatalf("accepted incomplete request: %+v", st.req)
+			}
+			if st.closeAfter {
+				return
+			}
+		}
+	})
+}

@@ -124,11 +124,12 @@ type Site struct {
 
 	mu sync.Mutex // guards cfg mutations (robots, blocker, pages)
 
-	// farm is set when the site is hosted by a Farm; srv/ln/done are set
-	// when the site runs its own server. Exactly one of the two hosting
-	// modes is active.
+	// farm is set when the site is hosted by a Farm; srv/ln/done (stdlib
+	// stack) or fsrv (fast path) are set when the site runs its own
+	// server. Exactly one hosting mode is active.
 	farm *Farm
 	srv  *http.Server
+	fsrv *fastServer
 	ln   net.Listener
 	done chan struct{}
 
@@ -172,8 +173,28 @@ func Start(nw *netsim.Network, cfg Config) (*Site, error) {
 	nw.Register(cfg.Domain, cfg.IP)
 	s := newSite(cfg)
 	s.ln = ln
-	s.done = make(chan struct{})
 	s.connShards = make(map[net.Conn]*logShard)
+	if !netsim.LegacyNetHTTP() {
+		// Fast path: the hand-rolled per-connection serve loop. The shard
+		// lifecycle matches the stdlib branch exactly — one shard per
+		// connection, registered on open, retired on close.
+		s.fsrv = startFastServer(ln, fastHooks{
+			connOpen: func(c net.Conn) any {
+				sh := &logShard{}
+				s.shardsMu.Lock()
+				s.shards = append(s.shards, sh)
+				s.connShards[c] = sh
+				s.shardsMu.Unlock()
+				return sh
+			},
+			connClose: func(c net.Conn, _ any) { s.retireShard(c) },
+			serve: func(carrier any, w *fastResponseWriter, r *http.Request) {
+				s.serve(w, r, carrier.(*logShard))
+			},
+		})
+		return s, nil
+	}
+	s.done = make(chan struct{})
 	s.srv = &http.Server{
 		Handler: http.HandlerFunc(s.handle),
 		ConnContext: func(ctx context.Context, c net.Conn) context.Context {
@@ -202,6 +223,18 @@ func Start(nw *netsim.Network, cfg Config) (*Site, error) {
 func (s *Site) Close() error {
 	if s.farm != nil {
 		return s.farm.Remove(s)
+	}
+	return s.shutdownServer()
+}
+
+// shutdownServer stops whichever dedicated server stack (fast or stdlib)
+// hosts the site; a no-op for farm-hosted sites, which have neither.
+func (s *Site) shutdownServer() error {
+	if s.fsrv != nil {
+		return s.fsrv.Close()
+	}
+	if s.srv == nil {
+		return nil
 	}
 	err := s.srv.Close()
 	<-s.done
