@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policyd"
 	"repro/internal/robots"
 	"repro/internal/webserver"
@@ -257,6 +258,33 @@ func init() {
 			}
 		}
 		b.ReportMetric(float64(snapBatchSize), "queries_per_op")
+	})
+
+	// The instrumentation-tax pair: the same request loop as netsim_http
+	// with obs recording live (the default everywhere else) and with the
+	// no-op knob flipped off. Comparing either against BENCH_pr6.json's
+	// uninstrumented netsim_http bounds the metrics overhead, and the
+	// pair's mutual delta isolates it exactly.
+	register("netsim_http_instrumented", func(b *testing.B) {
+		obs.SetEnabled(true)
+		benchNetsimHTTP(b, false)
+	})
+	register("netsim_http_noobs", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		benchNetsimHTTP(b, false)
+	})
+
+	// policyd_decide with recording disabled, against the default
+	// (instrumented) policyd_decide above: the decision-counter tax.
+	register("policyd_decide_noobs", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		svc, qs := snapPolicyService(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Decide(qs[i%len(qs)])
+		}
 	})
 
 	register("robots_parse_cached", func(b *testing.B) {

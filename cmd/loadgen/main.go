@@ -43,9 +43,17 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/policyd"
 	"repro/internal/stats"
 )
+
+// mCallLatency mirrors the reservoir: every latency fed to a reservoir
+// is also observed here, so the obs histogram and the reservoir
+// percentiles describe the same sample stream and can cross-check each
+// other (see TestReservoirHistogramAgree).
+var mCallLatency = obs.NewHistogram("loadgen_call_latency_ns",
+	"Sampled per-call latency of the drive loop, ns.")
 
 // result and snapshot mirror cmd/benchsnap's JSON schema so serving
 // snapshots merge into the same artifact stream.
@@ -81,10 +89,26 @@ func main() {
 	out := flag.String("o", "", "write a benchsnap-format JSON snapshot here")
 	minQPS := flag.Float64("min-qps", 0, "fail unless decisions/sec reaches this")
 	maxAllocs := flag.Int64("max-allocs", -1, "fail if in-process allocs/op exceed this (-1 = no gate)")
+	metrics := flag.String("metrics", "", "write obs metrics (Prometheus text) to this file at end of run (- = stderr)")
+	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := flag.String("memprofile", "", "write a heap profile to this file at end of run")
 	flag.Parse()
 
-	if err := run(*target, *seed, *scale, *snapIdx, *agentList, *wire, *batch, *total,
-		*concurrency, *zipfS, *out, *minQPS, *maxAllocs); err != nil {
+	stopCPU, err := obs.StartCPUProfile(*cpuprof)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	err = run(*target, *seed, *scale, *snapIdx, *agentList, *wire, *batch, *total,
+		*concurrency, *zipfS, *out, *minQPS, *maxAllocs)
+	stopCPU()
+	if err == nil {
+		err = obs.WriteHeapProfile(*memprof)
+	}
+	if err == nil {
+		err = obs.DumpMetrics(*metrics)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -288,6 +312,7 @@ func newReservoir(rn *stats.Rand) *reservoir {
 }
 
 func (r *reservoir) add(d time.Duration) {
+	mCallLatency.Observe(uint64(d))
 	if d > r.max {
 		r.max = d
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"net"
+	"sort"
 	"testing"
 	"time"
 
@@ -84,6 +85,37 @@ func TestReservoirAddDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("reservoir.add allocates %.1f per call in steady state, want 0", allocs)
+	}
+}
+
+// TestReservoirHistogramAgree cross-checks the two latency pipelines:
+// reservoir.add feeds every sample to both the reservoir and the obs
+// histogram, so below the reservoir cap (where the reservoir holds the
+// complete stream) the reservoir's exact percentiles must land inside
+// the histogram's quantile bucket at the same rank definition.
+func TestReservoirHistogramAgree(t *testing.T) {
+	before := mCallLatency.Snapshot()
+	r := newReservoir(stats.NewRand(11).Fork("xcheck"))
+	rn := stats.NewRand(12).Fork("lat")
+	const n = 3000 // < reservoirSize: the reservoir keeps everything
+	for i := 0; i < n; i++ {
+		// A latency-shaped spread: ~1µs..~500µs with a heavy-ish tail.
+		d := time.Duration(1000 + rn.Intn(500_000))
+		r.add(d)
+	}
+	delta := mCallLatency.Snapshot().Sub(before)
+	if delta.Count != n {
+		t.Fatalf("histogram saw %d samples, reservoir fed %d", delta.Count, n)
+	}
+
+	sorted := append([]time.Duration{}, r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		exact := uint64(pctile(sorted, q))
+		lo, hi := delta.Quantile(q)
+		if exact <= lo || exact > hi {
+			t.Errorf("q=%.2f: reservoir %d outside histogram bucket (%d, %d]", q, exact, lo, hi)
+		}
 	}
 }
 

@@ -14,6 +14,11 @@
 // -frame-addr opens a second listener speaking the binary frame protocol
 // (see internal/policyd/frame.go) for batch clients that want to skip
 // HTTP and JSON entirely; drive it with cmd/loadgen -wire binary.
+//
+// -metrics-addr opens an operational side listener serving the obs
+// registry at /metrics (Prometheus text; ?format=json for JSON) and the
+// stdlib profiler under /debug/pprof/ — kept off the service port so
+// scrapes and profiles never contend with decision traffic.
 package main
 
 import (
@@ -23,12 +28,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/policyd"
 	"repro/internal/stats"
 )
@@ -36,6 +43,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8473", "TCP listen address")
 	frameAddr := flag.String("frame-addr", "", "second TCP listen address for the binary frame protocol (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "side TCP listen address for /metrics and /debug/pprof/ (empty = off)")
 	seed := flag.Int64("seed", stats.DefaultSeed, "corpus seed")
 	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = 40,455 hosts)")
 	snapIdx := flag.Int("snap", len(corpus.Snapshots)-1, "corpus snapshot index to serve (0-14)")
@@ -43,13 +51,26 @@ func main() {
 	workers := flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*addr, *frameAddr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
+	if err := run(*addr, *frameAddr, *metricsAddr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "policyd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, frameAddr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
+// metricsMux assembles the side listener's handler: the obs registry
+// plus the pprof endpoints the stdlib normally hangs off DefaultServeMux.
+func metricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr, frameAddr, metricsAddr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -74,6 +95,17 @@ func run(addr, frameAddr string, seed int64, scale float64, snapIdx int, advance
 	srv := &http.Server{Addr: addr, Handler: policyd.NewHandler(svc)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+
+	var metricsSrv *http.Server
+	if metricsAddr != "" {
+		metricsSrv = &http.Server{Addr: metricsAddr, Handler: metricsMux()}
+		fmt.Fprintf(os.Stderr, "policyd: metrics and pprof on %s\n", metricsAddr)
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "policyd: metrics serve: %v\n", err)
+			}
+		}()
+	}
 
 	var frameLn net.Listener
 	if frameAddr != "" {
@@ -100,15 +132,23 @@ func run(addr, frameAddr string, seed int64, scale float64, snapIdx int, advance
 					return
 				case <-ticker.C:
 				}
+				oldIdx := idx
 				idx = (idx + 1) % len(corpus.Snapshots)
+				compileStart := time.Now()
 				next, err := policyd.FromCorpus(ctx, c, idx, workers)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "policyd: reload: %v\n", err)
 					continue
 				}
-				svc.Swap(next)
-				fmt.Fprintf(os.Stderr, "policyd: hot-reloaded %s (queries so far: %d)\n",
-					next, svc.Stats().Queries)
+				compileDur := time.Since(compileStart)
+				prev := svc.Swap(next)
+				// One structured line per swap so reload behavior is
+				// greppable and machine-parseable from the daemon log.
+				fmt.Fprintf(os.Stderr,
+					`{"event":"snapshot_swap","old_version":%q,"old_date":%q,"new_version":%q,"new_date":%q,"compile_ms":%.1f,"hosts":%d,"queries_served":%d}`+"\n",
+					prev.Version, corpus.Snapshots[oldIdx].Date.Format("2006-01-02"),
+					next.Version, corpus.Snapshots[idx].Date.Format("2006-01-02"),
+					float64(compileDur.Microseconds())/1000, next.Len(), svc.Stats().Queries)
 			}
 		}()
 	}
@@ -122,6 +162,9 @@ func run(addr, frameAddr string, seed int64, scale float64, snapIdx int, advance
 	defer cancel()
 	if frameLn != nil {
 		frameLn.Close()
+	}
+	if metricsSrv != nil {
+		metricsSrv.Shutdown(shutCtx)
 	}
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err

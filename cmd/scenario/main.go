@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -45,6 +46,9 @@ func run(stdout, stderr io.Writer, args []string) int {
 		workers  = fs.Int("workers", 0, "site-simulation pool size (0 = GOMAXPROCS)")
 		format   = fs.String("format", "text", "output format: text or json")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		metrics  = fs.String("metrics", "", "write obs metrics (Prometheus text) to this file at end of run (- = stderr)")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = fs.String("memprofile", "", "write a heap profile to this file at end of run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,9 +122,24 @@ func run(stdout, stderr io.Writer, args []string) int {
 		defer cancel()
 	}
 
+	stopCPU, err := obs.StartCPUProfile(*cpuprof)
+	if err != nil {
+		fmt.Fprintf(stderr, "scenario: %v\n", err)
+		return 1
+	}
+
 	start := time.Now()
 	res, err := scenario.Run(ctx, spec, *workers)
+	stopCPU()
 	if err != nil {
+		fmt.Fprintf(stderr, "scenario: %v\n", err)
+		return 1
+	}
+	if err := obs.WriteHeapProfile(*memprof); err != nil {
+		fmt.Fprintf(stderr, "scenario: %v\n", err)
+		return 1
+	}
+	if err := obs.DumpMetrics(*metrics); err != nil {
 		fmt.Fprintf(stderr, "scenario: %v\n", err)
 		return 1
 	}

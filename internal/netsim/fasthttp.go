@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // legacyNetHTTP restores the pre-fast-path transport stack: HTTPClient
@@ -141,7 +143,13 @@ func (fc *fastConn) close() {
 // RoundTrip implements http.RoundTripper.
 func (t *fastTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if !fastEligible(req) {
+		mHTTPLegacyRequests.Inc()
 		return t.legacyRT().RoundTrip(req)
+	}
+	mHTTPFastRequests.Inc()
+	var started time.Time
+	if obs.Enabled() {
+		started = time.Now()
 	}
 	ctx := req.Context()
 	if err := ctx.Err(); err != nil {
@@ -201,6 +209,9 @@ func (t *fastTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		if err == nil {
 			*headp = head[:0]
 			fastHeadPool.Put(headp)
+			if !started.IsZero() {
+				mHTTPLatency.ObserveSince(started)
+			}
 			return resp, nil
 		}
 		fc.close()
@@ -209,6 +220,7 @@ func (t *fastTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		// response byte fails cleanly, and — like the stdlib transport —
 		// we replay the request once on a fresh conn.
 		if reused && attempt == 0 && retryable {
+			mHTTPRetries.Inc()
 			if stream != nil {
 				if req.GetBody == nil {
 					closeStream(stream)
@@ -253,9 +265,11 @@ func (t *fastTransport) getConn(req *http.Request, key string) (*fastConn, bool,
 		t.idle[key] = l[:len(l)-1]
 		t.nIdle--
 		t.mu.Unlock()
+		mHTTPPoolHits.Inc()
 		return fc, true, nil
 	}
 	t.mu.Unlock()
+	mHTTPPoolMisses.Inc()
 	addr := key
 	if !strings.Contains(key, ":") {
 		addr = key + ":80"
@@ -292,11 +306,13 @@ func (t *fastTransport) exchange(fc *fastConn, head []byte, stream io.ReadCloser
 	if _, err := fc.c.Write(head); err != nil {
 		return nil, retryableErr(err), err
 	}
+	mHTTPBytesOut.Add(uint64(len(head)))
 	if stream != nil {
 		bufp := fastCopyPool.Get().(*[]byte)
-		_, err := io.CopyBuffer(fc.c, stream, *bufp)
+		n, err := io.CopyBuffer(fc.c, stream, *bufp)
 		fastCopyPool.Put(bufp)
 		stream.Close()
+		mHTTPBytesOut.Add(uint64(n))
 		if err != nil {
 			return nil, false, err // body partially consumed; caller needs GetBody
 		}
@@ -553,6 +569,7 @@ func (cr *connReader) fill() error {
 	n, err := cr.c.Read(cr.buf[cr.w:])
 	cr.w += n
 	if n > 0 {
+		mHTTPBytesIn.Add(uint64(n))
 		return nil
 	}
 	if err == nil {
@@ -600,7 +617,11 @@ func (cr *connReader) Read(p []byte) (int, error) {
 		return n, nil
 	}
 	if len(p) >= len(cr.buf) {
-		return cr.c.Read(p)
+		n, err := cr.c.Read(p)
+		if n > 0 {
+			mHTTPBytesIn.Add(uint64(n))
+		}
+		return n, err
 	}
 	if err := cr.fill(); err != nil {
 		return 0, err

@@ -1,0 +1,20 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format, or JSON when the request has ?format=json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the Default registry.
+func Handler() http.Handler { return Default.Handler() }

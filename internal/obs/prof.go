@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI-facing helpers shared by cmd/scenario, cmd/loadgen, and
+// cmd/policyd: -cpuprofile/-memprofile flags and end-of-run -metrics
+// dumps all route through here so the three binaries behave
+// identically.
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// stop function. An empty path is a no-op.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path after a GC (so the
+// profile reflects live objects, not garbage). An empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// DumpMetrics writes the Default registry in Prometheus text format to
+// path; "-" means stderr. An empty path is a no-op.
+func DumpMetrics(path string) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return Default.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: metrics dump: %w", err)
+	}
+	defer f.Close()
+	return Default.WritePrometheus(f)
+}

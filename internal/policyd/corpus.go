@@ -2,11 +2,13 @@ package policyd
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/agents"
 	"repro/internal/aitxt"
 	"repro/internal/blocking"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -37,6 +39,9 @@ const (
 // announced by the snapshot date), so swapping between FromCorpus
 // snapshots is exactly a policy-push hot reload.
 func FromCorpus(ctx context.Context, c *corpus.Corpus, snap, workers int) (*Snapshot, error) {
+	if obs.Enabled() {
+		defer mCompileNS.ObserveSince(time.Now())
+	}
 	if snap < 0 {
 		snap = 0
 	}

@@ -221,6 +221,7 @@ func serveFrameConn(c net.Conn, svc *Service) {
 		if err != nil {
 			return
 		}
+		mWireFrame.Inc()
 		out = svc.DecideBatch(qs, out[:0])
 		wbuf = AppendDecisionFrame(wbuf[:0], out)
 		if _, err := c.Write(wbuf); err != nil {

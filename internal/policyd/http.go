@@ -61,6 +61,7 @@ func NewHandler(svc *Service) http.Handler {
 			http.Error(w, "host and agent are required", http.StatusBadRequest)
 			return
 		}
+		mWireJSON.Inc()
 		writeJSON(w, svc.Decide(q).JSON())
 	})
 	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +78,7 @@ func NewHandler(svc *Service) http.Handler {
 			http.Error(w, fmt.Sprintf("batch exceeds %d queries", MaxBatch), http.StatusRequestEntityTooLarge)
 			return
 		}
+		mWireJSON.Inc()
 		decisions := svc.DecideBatch(req.Queries, make([]Decision, 0, len(req.Queries)))
 		resp := BatchResponse{Decisions: make([]DecisionJSON, len(decisions))}
 		for i, d := range decisions {

@@ -1,0 +1,45 @@
+package policyd
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Service metrics. The decision matrix is 3 actions × 6 signals of
+// pre-registered counters so the hot path indexes an array instead of
+// formatting labels; DecideBatch accumulates on the stack and flushes
+// once per batch.
+var mDecisions = func() (m [Block + 1][SignalMeta + 1]*obs.Counter) {
+	for a := Allow; a <= Block; a++ {
+		for sig := SignalNone; sig <= SignalMeta; sig++ {
+			m[a][sig] = obs.NewCounter(
+				fmt.Sprintf(`policyd_decisions_total{action=%q,signal=%q}`, a.String(), sig.String()),
+				"Decisions served, by outcome action and winning signal.")
+		}
+	}
+	return m
+}()
+
+var (
+	mBatchSize = obs.NewHistogram("policyd_batch_size",
+		"Queries per DecideBatch call.")
+	mSwaps = obs.NewCounter("policyd_snapshot_swaps_total",
+		"Snapshot hot swaps installed on the service.")
+	mCompileNS = obs.NewHistogram("policyd_compile_duration_ns",
+		"Wall-clock spent compiling a corpus month into a snapshot, ns.")
+	mWireJSON = obs.NewCounter(`policyd_wire_requests_total{wire="json"}`,
+		"Wire-level decision requests, by protocol (one frame batch or one HTTP request each).")
+	mWireFrame = obs.NewCounter(`policyd_wire_requests_total{wire="frame"}`,
+		"Wire-level decision requests, by protocol (one frame batch or one HTTP request each).")
+)
+
+// countDecision records one decision in the action×signal matrix.
+// Bounds are clamped defensively: a corrupted enum must not panic the
+// serving path.
+func countDecision(d Decision) {
+	if d.Action > Block || d.Signal > SignalMeta {
+		return
+	}
+	mDecisions[d.Action][d.Signal].Inc()
+}

@@ -146,12 +146,17 @@ func (s *Service) Current() *Snapshot { return s.snap.Load() }
 
 // Swap atomically installs a new snapshot and returns the previous one.
 // In-flight queries finish against whichever snapshot they loaded.
-func (s *Service) Swap(snap *Snapshot) *Snapshot { return s.snap.Swap(snap) }
+func (s *Service) Swap(snap *Snapshot) *Snapshot {
+	mSwaps.Inc()
+	return s.snap.Swap(snap)
+}
 
 // Decide answers one query against the current snapshot.
 func (s *Service) Decide(q Query) Decision {
 	s.queries.Add(1)
-	return s.snap.Load().Decide(q)
+	d := s.snap.Load().Decide(q)
+	countDecision(d)
+	return d
 }
 
 // DecideBatch answers every query against one consistent snapshot —
@@ -159,9 +164,25 @@ func (s *Service) Decide(q Query) Decision {
 // pre-sized out[:0] to avoid allocation) and the filled slice returned.
 func (s *Service) DecideBatch(qs []Query, out []Decision) []Decision {
 	s.queries.Add(uint64(len(qs)))
+	mBatchSize.Observe(uint64(len(qs)))
 	snap := s.snap.Load()
+	// Decision counts accumulate on the stack and flush once per batch:
+	// one shard pick per populated (action, signal) cell instead of one
+	// per query.
+	var counts [Block + 1][SignalMeta + 1]uint64
 	for _, q := range qs {
-		out = append(out, snap.Decide(q))
+		d := snap.Decide(q)
+		if d.Action <= Block && d.Signal <= SignalMeta {
+			counts[d.Action][d.Signal]++
+		}
+		out = append(out, d)
+	}
+	for a := range counts {
+		for sig, n := range counts[a] {
+			if n > 0 {
+				mDecisions[a][sig].Add(n)
+			}
+		}
 	}
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"context"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Event priorities: everything scheduled for the same virtual month runs
@@ -57,6 +59,12 @@ func (q *eventQueue) schedule(month, prio int, fn eventFn) {
 // month, until the queue is empty or an event falls at or beyond the
 // horizon month. Cancellation is checked between events.
 func (q *eventQueue) run(ctx context.Context, clk *clock, horizon int) error {
+	// Month boundaries are monotone within one site's queue, so the real
+	// time between them is this site's wall-clock cost of that month.
+	var lastBoundary time.Time
+	if obs.Enabled() {
+		lastBoundary = time.Now()
+	}
 	for q.h.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -65,10 +73,19 @@ func (q *eventQueue) run(ctx context.Context, clk *clock, horizon int) error {
 		if ev.month >= horizon {
 			continue
 		}
+		if ev.month > clk.month && !lastBoundary.IsZero() {
+			now := time.Now()
+			mMonthWallNS.Observe(uint64(now.Sub(lastBoundary)))
+			lastBoundary = now
+		}
 		clk.month = ev.month
+		mEvents.Inc()
 		if err := ev.fn(clk.date()); err != nil {
 			return err
 		}
+	}
+	if !lastBoundary.IsZero() {
+		mMonthWallNS.ObserveSince(lastBoundary)
 	}
 	return nil
 }

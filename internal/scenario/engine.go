@@ -14,6 +14,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/robots"
 	"repro/internal/stats"
@@ -27,6 +28,9 @@ import (
 // derived sequentially before the parallel pass, which makes the result
 // bit-identical at any worker count.
 func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
+	if obs.Enabled() {
+		defer mRunWallNS.ObserveSince(time.Now())
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -389,6 +393,7 @@ func (s *siteSim) scheduleVisit(ctx context.Context, cr *crawler.Crawler, cs Cra
 		} else if _, err := cr.Crawl(ctx, s.site.URL()); err != nil {
 			return err
 		}
+		mCrawlWaves.Inc()
 		s.months[month].Visits++
 		s.scheduleVisit(ctx, cr, cs, month+cs.Cadence, done+1)
 		return nil

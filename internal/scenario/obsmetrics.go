@@ -1,0 +1,18 @@
+package scenario
+
+import "repro/internal/obs"
+
+// Engine metrics. Month wall-clock is per-site: each site simulation
+// observes the real time spent between its virtual month boundaries, so
+// the histogram exposes where scenario runs actually burn time (slow
+// sites dominate the upper buckets).
+var (
+	mEvents = obs.NewCounter("scenario_events_total",
+		"Discrete events processed across all site simulations.")
+	mCrawlWaves = obs.NewCounter("scenario_crawl_waves_total",
+		"Completed crawl waves (one crawler visiting one site).")
+	mMonthWallNS = obs.NewHistogram("scenario_month_wall_ns",
+		"Real time one site simulation spent per virtual month, ns.")
+	mRunWallNS = obs.NewHistogram("scenario_run_wall_ns",
+		"Real time per full scenario Run call, ns.")
+)

@@ -152,6 +152,7 @@ func NewFarm(nw *netsim.Network, ip string) (*Farm, error) {
 				f.connMu.Lock()
 				f.conns[c] = fc
 				f.connMu.Unlock()
+				mFarmActiveConns.Add(1)
 				return fc
 			},
 			connClose: func(c net.Conn, _ any) { f.retireConn(c) },
@@ -169,6 +170,7 @@ func NewFarm(nw *netsim.Network, ip string) (*Farm, error) {
 			f.connMu.Lock()
 			f.conns[c] = fc
 			f.connMu.Unlock()
+			mFarmActiveConns.Add(1)
 			return context.WithValue(ctx, farmConnKey{}, fc)
 		},
 		ConnState: func(c net.Conn, st http.ConnState) {
@@ -407,20 +409,25 @@ func (f *Farm) handleReq(fc *farmConn, w http.ResponseWriter, r *http.Request) {
 	gen := f.gen.Load()
 	if fc != nil {
 		if m := fc.memo.Load(); m != nil && m.gen == gen && m.key == key {
+			mFarmRequests.Inc()
+			mFarmMemoHits.Inc()
 			m.site.serve(w, r, m.shard)
 			return
 		}
 	}
+	mFarmMemoMisses.Inc()
 	f.mu.RLock()
 	s := f.hosts[key]
 	f.mu.RUnlock()
 	if s == nil {
 		f.unmatched.Add(1)
+		mFarmUnmatched.Inc()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusMisdirectedRequest)
 		io.WriteString(w, "421 misdirected request: no site for host\n")
 		return
 	}
+	mFarmRequests.Inc()
 	sh := s.fallback
 	if fc != nil {
 		sh = fc.shardFor(s)
@@ -441,6 +448,7 @@ func (f *Farm) retireConn(c net.Conn) {
 	if !ok {
 		return
 	}
+	mFarmActiveConns.Add(-1)
 	fc.mu.Lock()
 	shards := fc.shards
 	fc.shards = nil

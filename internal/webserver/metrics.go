@@ -1,0 +1,19 @@
+package webserver
+
+import "repro/internal/obs"
+
+// Farm hosting metrics. Per-site hit counts stay on the Site itself
+// (Site.Hits) — site cardinality is unbounded in scenarios, so only the
+// farm-level aggregates live in the registry.
+var (
+	mFarmRequests = obs.NewCounter("farm_requests_total",
+		"Requests dispatched by farm listeners (matched hosts only).")
+	mFarmMemoHits = obs.NewCounter(`farm_dispatch_total{result="memo"}`,
+		"Farm host dispatches by path: memo reuses the per-conn site memo, map probes the host table.")
+	mFarmMemoMisses = obs.NewCounter(`farm_dispatch_total{result="map"}`,
+		"Farm host dispatches by path: memo reuses the per-conn site memo, map probes the host table.")
+	mFarmUnmatched = obs.NewCounter("farm_unmatched_total",
+		"Requests answered 421 because no site claims the Host header.")
+	mFarmActiveConns = obs.NewGauge("farm_active_conns",
+		"Open connections across all farm listeners.")
+)

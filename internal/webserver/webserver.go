@@ -143,7 +143,15 @@ type Site struct {
 	// carrier instead.
 	connShards map[net.Conn]*logShard
 	fallback   *logShard // for requests without a connection shard
+
+	// hits counts requests served by this site across both hosting
+	// modes. Site cardinality is unbounded, so this stays a plain
+	// per-site atomic (see Hits) rather than an obs registry entry.
+	hits atomic.Uint64
 }
+
+// Hits returns the number of requests this site has served.
+func (s *Site) Hits() uint64 { return s.hits.Load() }
 
 // newSite builds the log machinery shared by both hosting modes.
 func newSite(cfg Config) *Site {
@@ -276,6 +284,7 @@ func (s *Site) handle(w http.ResponseWriter, r *http.Request) {
 // observable site behaviour — responses, blocking, log contents —
 // independent of how the site is hosted.
 func (s *Site) serve(w http.ResponseWriter, r *http.Request, sh *logShard) {
+	s.hits.Add(1)
 	s.mu.Lock()
 	robotsTxt := s.cfg.RobotsTxt
 	blocker := s.cfg.Blocker
