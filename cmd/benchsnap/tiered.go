@@ -1,0 +1,49 @@
+package main
+
+// Tiered-engine benchmarks: the full engine and the tiered engine at the
+// same site count (the apples-to-apples speedup pair), plus the tiered
+// engine at 10× the sites (the scale headline). All three report
+// sites_per_sec so the regression gate tracks throughput directly.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// benchScenarioSites runs the observed-world spec at the given scale on
+// either engine and reports throughput.
+func benchScenarioSites(b *testing.B, sites int, tiered bool) {
+	spec := scenario.Observed(snapSeed, sites, 12)
+	var visits float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res *scenario.Result
+		var err error
+		if tiered {
+			res, err = scenario.RunTiered(context.Background(), spec,
+				scenario.TierOptions{HotSites: 32, Workers: 4})
+		} else {
+			res, err = scenario.Run(context.Background(), spec, 4)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		visits = float64(res.TotalVisits)
+	}
+	b.ReportMetric(visits, "crawl_visits")
+	b.ReportMetric(float64(sites)*float64(b.N)/b.Elapsed().Seconds(), "sites_per_sec")
+}
+
+func init() {
+	register("scenario_full_1k", func(b *testing.B) {
+		benchScenarioSites(b, 1000, false)
+	})
+	register("scenario_tiered_1k", func(b *testing.B) {
+		benchScenarioSites(b, 1000, true)
+	})
+	register("scenario_tiered_10k", func(b *testing.B) {
+		benchScenarioSites(b, 10000, true)
+	})
+}

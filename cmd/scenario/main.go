@@ -10,8 +10,11 @@
 //	scenario -spec world.json -sites 500 -months 36 -workers 8
 //	scenario -builtin baseline-replay -format json | jq .Verdicts
 //	scenario -dump high-adoption          # print a built-in as JSON to edit
+//	scenario -builtin observed-world -sites 100000 -tiered -hot 64
 //
-// Identical specs produce bit-identical results at any -workers value.
+// Identical specs produce bit-identical results at any -workers value;
+// -tiered produces bit-identical results to the full engine at any
+// -hot value, it only changes how fast the run gets there.
 package main
 
 import (
@@ -44,6 +47,8 @@ func run(stdout, stderr io.Writer, args []string) int {
 		sites    = fs.Int("sites", 0, "override the spec's site count")
 		months   = fs.Int("months", 0, "override the spec's month count")
 		workers  = fs.Int("workers", 0, "site-simulation pool size (0 = GOMAXPROCS)")
+		tiered   = fs.Bool("tiered", false, "use the tiered engine (columnar long tail + wave cache)")
+		hot      = fs.Int("hot", 32, "tiered mode: sites pinned to full-fidelity simulation")
 		format   = fs.String("format", "text", "output format: text or json")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		metrics  = fs.String("metrics", "", "write obs metrics (Prometheus text) to this file at end of run (- = stderr)")
@@ -129,7 +134,15 @@ func run(stdout, stderr io.Writer, args []string) int {
 	}
 
 	start := time.Now()
-	res, err := scenario.Run(ctx, spec, *workers)
+	var res *scenario.Result
+	var tierStats scenario.TierStats
+	if *tiered {
+		res, err = scenario.RunTiered(ctx, spec, scenario.TierOptions{
+			HotSites: *hot, Workers: *workers, Stats: &tierStats,
+		})
+	} else {
+		res, err = scenario.Run(ctx, spec, *workers)
+	}
 	stopCPU()
 	if err != nil {
 		fmt.Fprintf(stderr, "scenario: %v\n", err)
@@ -152,7 +165,20 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 0
 	}
 	writeText(stdout, res, time.Since(start))
+	if *tiered {
+		writeTierStats(stdout, spec, tierStats)
+	}
 	return 0
+}
+
+// writeTierStats appends the tiered engine's accounting to the text
+// report: how the site-months split across tiers, the wave cache's
+// compile/replay economics, and the long-tail footprint.
+func writeTierStats(w io.Writer, spec scenario.Spec, ts scenario.TierStats) {
+	fmt.Fprintf(w, "(tiered: %d hot + %d cold site-months, %d promotions, %d demotions; "+
+		"%d wave classes compiled, %d replayed; %.1f B/site columnar)\n",
+		ts.HotSiteMonths, ts.ColdSiteMonths, ts.Promotions, ts.Demotions,
+		ts.WaveClasses, ts.ReplayedWaves, ts.BytesPerSite(spec.Sites))
 }
 
 // writeText renders the run as an aligned monthly report.

@@ -48,6 +48,34 @@ func TestRunBuiltinJSON(t *testing.T) {
 	}
 }
 
+// TestTieredMatchesFullJSON is the CLI-level parity check CI repeats:
+// the JSON a tiered run emits is byte-identical to the full engine's.
+func TestTieredMatchesFullJSON(t *testing.T) {
+	var full, tiered, errb bytes.Buffer
+	if code := run(&full, &errb, []string{"-spec", "testdata/smoke.json", "-format", "json"}); code != 0 {
+		t.Fatalf("full: exit %d: %s", code, errb.String())
+	}
+	args := []string{"-spec", "testdata/smoke.json", "-format", "json", "-tiered", "-hot", "3", "-workers", "4"}
+	if code := run(&tiered, &errb, args); code != 0 {
+		t.Fatalf("tiered: exit %d: %s", code, errb.String())
+	}
+	if full.String() != tiered.String() {
+		t.Fatalf("tiered JSON diverges from full:\n%s\nvs\n%s", tiered.String(), full.String())
+	}
+}
+
+func TestTieredTextReportsStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(&out, &errb, []string{"-spec", "testdata/smoke.json", "-tiered", "-hot", "2"}); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"tiered:", "site-months", "wave classes", "B/site columnar"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("tier footer missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	cases := [][]string{
 		{},

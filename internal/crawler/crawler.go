@@ -180,6 +180,17 @@ func (c *Crawler) InvalidateCache() {
 // Profile returns the crawler's configuration.
 func (c *Crawler) Profile() Profile { return c.profile }
 
+// AdvanceVisits advances the visit counter by n without fetching, as if
+// n earlier visits had already happened. Behaviours keyed to the visit
+// sequence (IntermittentFetch's every-third-visit robots fetch) resume
+// mid-cycle, so a simulation can reconstruct a crawler at an arbitrary
+// point of its schedule from a fresh instance.
+func (c *Crawler) AdvanceVisits(n int) {
+	if n > 0 {
+		c.visits += n
+	}
+}
+
 // Crawl visits the site rooted at baseURL: depending on the profile it
 // fetches robots.txt first, then breadth-first follows same-site links
 // from "/" subject to the robots policy.

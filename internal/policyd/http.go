@@ -62,7 +62,7 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		mWireJSON.Inc()
-		writeJSON(w, svc.Decide(q).JSON())
+		writeDecision(w, svc.Decide(q))
 	})
 	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -99,4 +99,32 @@ func NewHandler(svc *Service) http.Handler {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// decideResponses holds the pre-rendered /v1/decide body for every
+// (action, signal) pair. The single-query endpoint dominates wire
+// traffic and its response space is tiny, so rendering the 18 bodies
+// once turns the hot path's marshal into an index and a write.
+var decideResponses = func() (t [Block + 1][SignalMeta + 1][]byte) {
+	for a := Allow; a <= Block; a++ {
+		for s := SignalNone; s <= SignalMeta; s++ {
+			b, err := json.Marshal(Decision{Action: a, Signal: s}.JSON())
+			if err != nil {
+				panic(err)
+			}
+			t[a][s] = append(b, '\n')
+		}
+	}
+	return t
+}()
+
+// writeDecision writes a single decision, pre-rendered when the pair is
+// in range (always, for decisions the service produces).
+func writeDecision(w http.ResponseWriter, d Decision) {
+	if d.Action <= Block && d.Signal <= SignalMeta {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(decideResponses[d.Action][d.Signal])
+		return
+	}
+	writeJSON(w, d.JSON())
 }

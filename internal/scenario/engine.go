@@ -93,12 +93,8 @@ func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
 	}
 
 	// Merge shards in site order; every reduction is commutative
-	// addition, so the totals are schedule-independent.
-	res := &Result{Spec: sp, StartDate: start, Months: make([]MonthMetrics, sp.Months)}
-	for m := range res.Months {
-		d := start.AddDate(0, m, 0)
-		res.Months[m] = MonthMetrics{Month: m, Label: d.Format("Jan 2006"), Date: d}
-	}
+	// integer addition, so the totals are schedule-independent.
+	res := newResult(sp, start)
 	evidence := make(map[string]measure.Evidence)
 	for _, sr := range sims {
 		for m := range sr.months {
@@ -108,15 +104,7 @@ func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
 			evidence[tok] = evidence[tok].Merge(ev)
 		}
 	}
-	res.Verdicts = make(map[string]measure.Verdict, len(evidence))
-	for tok, ev := range evidence {
-		res.Verdicts[tok] = measure.ClassifyEvidence(ev)
-	}
-	for _, m := range res.Months {
-		res.TotalVisits += m.Visits
-		res.TotalDisallowedBytes += m.DisallowedBytes
-		res.TotalBlockedRequests += m.BlockedRequests
-	}
+	res.finalize(evidence)
 	return res, nil
 }
 
@@ -415,42 +403,7 @@ func (s *siteSim) flush(month int, now time.Time) {
 	// paper's measurement sites, where every logged fetch happens under
 	// an applicable disallow rule.
 	windowEv := make(map[string]measure.Evidence)
-	for _, rec := range window {
-		tok := measure.ProductToken(rec.UserAgent)
-		if tok == "" {
-			continue
-		}
-		restricted := s.restricts(tok)
-		switch {
-		case rec.Status == 403:
-			// Provider-denied requests (including robots.txt fetches the
-			// blocker screened) were never served; they are not evidence
-			// of anything but the blocking itself.
-			mm.BlockedRequests++
-		case rec.Path == "/robots.txt":
-			mm.RobotsFetches++
-			if restricted {
-				ev := windowEv[tok]
-				ev.RobotsOK++
-				windowEv[tok] = ev
-			}
-		case strings.HasPrefix(rec.Path, "/robots.txt"):
-			if restricted {
-				ev := windowEv[tok]
-				ev.RobotsBroken++
-				windowEv[tok] = ev
-			}
-		case rec.Status != 200:
-			// 404s and friends: neither served content nor a violation.
-		case restricted && !s.policy.Allowed(tok, rec.Path):
-			mm.DisallowedBytes += int64(rec.Bytes)
-			ev := windowEv[tok]
-			ev.Content++
-			windowEv[tok] = ev
-		default:
-			mm.AllowedBytes += int64(rec.Bytes)
-		}
-	}
+	absorbWindow(window, s.policy, s.restricts, mm, windowEv)
 	for tok, ev := range windowEv {
 		mm.ClassCounts[measure.ClassifyEvidence(ev)]++
 		s.evidence[tok] = s.evidence[tok].Merge(ev)
@@ -473,12 +426,60 @@ func (s *siteSim) flush(month int, now time.Time) {
 			}
 		}
 		if announced > 0 {
-			mm.GapSum = float64(announced-covered) / float64(announced)
+			mm.GapMissing = announced - covered
+			mm.GapAnnounced = announced
 		}
 		mm.GapSites = 1
 	}
 	if s.blockerOn {
 		mm.ActiveBlockers = 1
+	}
+}
+
+// absorbWindow folds one month's log window into mm and the per-token
+// evidence map, classifying each record against the site's policy at
+// flush time. policy may be nil (no robots.txt yet); restricts reports
+// whether that policy restricts tok at the root. Every branch is a
+// commutative tally, so record order within a window never changes the
+// outcome — the property that lets the tiered engine fold cached
+// per-wave windows instead of a single merged month log.
+func absorbWindow(window []webserver.Record, policy *robots.Robots, restricts func(string) bool,
+	mm *MonthMetrics, windowEv map[string]measure.Evidence) {
+	for _, rec := range window {
+		tok := measure.ProductToken(rec.UserAgent)
+		if tok == "" {
+			continue
+		}
+		restricted := restricts(tok)
+		switch {
+		case rec.Status == 403:
+			// Provider-denied requests (including robots.txt fetches the
+			// blocker screened) were never served; they are not evidence
+			// of anything but the blocking itself.
+			mm.BlockedRequests++
+		case rec.Path == "/robots.txt":
+			mm.RobotsFetches++
+			if restricted {
+				ev := windowEv[tok]
+				ev.RobotsOK++
+				windowEv[tok] = ev
+			}
+		case strings.HasPrefix(rec.Path, "/robots.txt"):
+			if restricted {
+				ev := windowEv[tok]
+				ev.RobotsBroken++
+				windowEv[tok] = ev
+			}
+		case rec.Status != 200:
+			// 404s and friends: neither served content nor a violation.
+		case restricted && !policy.Allowed(tok, rec.Path):
+			mm.DisallowedBytes += int64(rec.Bytes)
+			ev := windowEv[tok]
+			ev.Content++
+			windowEv[tok] = ev
+		default:
+			mm.AllowedBytes += int64(rec.Bytes)
+		}
 	}
 }
 

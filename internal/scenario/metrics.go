@@ -48,10 +48,18 @@ type MonthMetrics struct {
 	// denied.
 	BlockedRequests int
 
-	// GapSum accumulates the static rule-list coverage gap over adopted
-	// sites (GapSites of them); StaticGap reports the mean.
-	GapSum   float64
-	GapSites int
+	// GapMissing and GapAnnounced accumulate the static rule-list
+	// coverage gap over adopted sites (GapSites of them) as integer
+	// tallies — announced-but-uncovered agents and announced agents —
+	// rather than a float sum of per-site fractions. The announced count
+	// is the same for every site within a month, so StaticGap's
+	// missing/announced ratio equals the old per-site mean, and keeping
+	// every field integral makes merges exactly order-free: tiered,
+	// sharded, and sequential runs are bit-identical, not
+	// almost-identical up to float association.
+	GapMissing   int
+	GapAnnounced int
+	GapSites     int
 }
 
 // add merges another shard's metrics for the same month.
@@ -67,7 +75,8 @@ func (m *MonthMetrics) add(o MonthMetrics) {
 	m.DisallowedBytes += o.DisallowedBytes
 	m.AllowedBytes += o.AllowedBytes
 	m.BlockedRequests += o.BlockedRequests
-	m.GapSum += o.GapSum
+	m.GapMissing += o.GapMissing
+	m.GapAnnounced += o.GapAnnounced
 	m.GapSites += o.GapSites
 }
 
@@ -93,10 +102,10 @@ func (m MonthMetrics) RespectRate() float64 {
 // StaticGap is the mean coverage gap of the adopted sites' rule lists:
 // the fraction of announced blockable agents their robots.txt misses.
 func (m MonthMetrics) StaticGap() float64 {
-	if m.GapSites == 0 {
+	if m.GapAnnounced == 0 {
 		return 0
 	}
-	return m.GapSum / float64(m.GapSites)
+	return float64(m.GapMissing) / float64(m.GapAnnounced)
 }
 
 // Result is one completed scenario run.
@@ -116,6 +125,32 @@ type Result struct {
 	TotalVisits          int
 	TotalDisallowedBytes int64
 	TotalBlockedRequests int
+}
+
+// newResult allocates the month skeleton for a defaulted spec. Both
+// engines (full-fidelity Run and tiered RunTiered) assemble into this
+// same shape, which is what lets the parity suite DeepEqual them.
+func newResult(sp Spec, start time.Time) *Result {
+	res := &Result{Spec: sp, StartDate: start, Months: make([]MonthMetrics, sp.Months)}
+	for m := range res.Months {
+		d := start.AddDate(0, m, 0)
+		res.Months[m] = MonthMetrics{Month: m, Label: d.Format("Jan 2006"), Date: d}
+	}
+	return res
+}
+
+// finalize classifies the merged run-wide evidence and computes the
+// run-level totals from the merged months.
+func (r *Result) finalize(evidence map[string]measure.Evidence) {
+	r.Verdicts = make(map[string]measure.Verdict, len(evidence))
+	for tok, ev := range evidence {
+		r.Verdicts[tok] = measure.ClassifyEvidence(ev)
+	}
+	for _, m := range r.Months {
+		r.TotalVisits += m.Visits
+		r.TotalDisallowedBytes += m.DisallowedBytes
+		r.TotalBlockedRequests += m.BlockedRequests
+	}
 }
 
 // Tokens returns the observed product tokens, sorted.

@@ -16,3 +16,20 @@ var (
 	mRunWallNS = obs.NewHistogram("scenario_run_wall_ns",
 		"Real time per full scenario Run call, ns.")
 )
+
+// Tiered-engine metrics: tier transitions, the hot/cold site-month
+// split, and the wave cache's compile/replay economics.
+var (
+	mTierPromotions = obs.NewCounter("scenario_tier_promotions_total",
+		"Long-tail sites promoted to full fidelity for a month.")
+	mTierDemotions = obs.NewCounter("scenario_tier_demotions_total",
+		"Sites demoted from full fidelity back to the long tail.")
+	mTierHotSiteMonths = obs.NewCounter("scenario_tier_hot_site_months_total",
+		"Site-months simulated at full fidelity in tiered runs.")
+	mTierColdSiteMonths = obs.NewCounter("scenario_tier_cold_site_months_total",
+		"Site-months advanced on the compiled fast path.")
+	mTierCompiledWaves = obs.NewCounter("scenario_tier_compiled_waves_total",
+		"Wave cache misses executed for real on a scratch farm.")
+	mTierReplayedWaves = obs.NewCounter("scenario_tier_replayed_waves_total",
+		"Long-tail crawl waves answered from the wave cache.")
+)

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestTieredParityWithFull is the tiered engine's core contract: for the
+// same spec, RunTiered produces a Result reflect.DeepEqual to Run's — at
+// every hot-cohort size (including zero, where the whole population runs
+// on the compiled fast path) and every worker count.
+func TestTieredParityWithFull(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{99, 7} {
+		spec := testSpec()
+		spec.Seed = seed
+		want, err := Run(ctx, spec, 4)
+		if err != nil {
+			t.Fatalf("seed=%d: full run: %v", seed, err)
+		}
+		for _, hot := range []int{0, 3, spec.Sites} {
+			for _, workers := range []int{1, 4, 8} {
+				got, err := RunTiered(ctx, spec, TierOptions{HotSites: hot, Workers: workers})
+				if err != nil {
+					t.Fatalf("seed=%d hot=%d workers=%d: %v", seed, hot, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					gb, _ := json.MarshalIndent(got, "", " ")
+					wb, _ := json.MarshalIndent(want, "", " ")
+					t.Fatalf("seed=%d hot=%d workers=%d: tiered diverges from full:\n%s\nvs full:\n%s",
+						seed, hot, workers, gb, wb)
+				}
+			}
+		}
+	}
+}
+
+// TestTieredWorkerCountIdentity pins the stronger serialization-level
+// claim: the JSON bytes are identical at any worker count.
+func TestTieredWorkerCountIdentity(t *testing.T) {
+	ctx := context.Background()
+	var outputs [][]byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := RunTiered(ctx, testSpec(), TierOptions{HotSites: 2, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, b)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if string(outputs[i]) != string(outputs[0]) {
+			t.Fatalf("tiered results differ between worker counts:\n%s\nvs\n%s",
+				outputs[0], outputs[i])
+		}
+	}
+}
+
+// TestTieredDemoteRepromote forces long-tail sites through the full tier
+// lifecycle — cold, promoted for adoption, demoted, re-promoted for the
+// blocking rollout, demoted again — and checks the months they produce
+// are byte-identical to an always-hot run and to the full engine, across
+// seeds and worker counts.
+func TestTieredDemoteRepromote(t *testing.T) {
+	ctx := context.Background()
+	spec := testSpec()
+	spec.Sites = 6
+	spec.Months = 8
+	// Everyone adopts at month 1 and half the sites enable blocking at
+	// month 4, so every tail site is promoted (at least) twice with cold
+	// months in between.
+	spec.Adoption = AdoptionSpec{Curve: []float64{0, 1}}
+	spec.Blocking = BlockingSpec{Share: 0.5, StartMonth: 4, RefreshMonthly: true}
+
+	for _, seed := range []int64{99, 7} {
+		spec.Seed = seed
+		full, err := Run(ctx, spec, 4)
+		if err != nil {
+			t.Fatalf("seed=%d: full run: %v", seed, err)
+		}
+		wantJSON, err := json.Marshal(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allHot, err := RunTiered(ctx, spec, TierOptions{HotSites: spec.Sites, Workers: 2})
+		if err != nil {
+			t.Fatalf("seed=%d: all-hot run: %v", seed, err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			var ts TierStats
+			got, err := RunTiered(ctx, spec, TierOptions{HotSites: 2, Workers: workers, Stats: &ts})
+			if err != nil {
+				t.Fatalf("seed=%d workers=%d: %v", seed, workers, err)
+			}
+			if ts.Promotions == 0 || ts.Demotions == 0 {
+				t.Fatalf("seed=%d workers=%d: tier lifecycle never exercised: %+v", seed, workers, ts)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(wantJSON) {
+				t.Fatalf("seed=%d workers=%d: re-promoted run diverges from full engine:\n%s\nvs\n%s",
+					seed, workers, gotJSON, wantJSON)
+			}
+			if !reflect.DeepEqual(got, allHot) {
+				t.Fatalf("seed=%d workers=%d: re-promoted run diverges from always-hot run", seed, workers)
+			}
+		}
+	}
+}
+
+// TestTieredColumnarFootprint holds the long-tail representation to its
+// budget: at fifty thousand sites the columnar state must stay at or
+// under 100 bytes per site.
+func TestTieredColumnarFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-site run")
+	}
+	ctx := context.Background()
+	spec := Spec{
+		Name:     "footprint",
+		Seed:     3,
+		Sites:    50000,
+		Months:   2,
+		Adoption: AdoptionSpec{Source: SourceNone},
+		Crawlers: []CrawlerSpec{{Token: "GPTBot", Behavior: "compliant", Cadence: 1}},
+	}
+	var ts TierStats
+	if _, err := RunTiered(ctx, spec, TierOptions{Workers: 2, Stats: &ts}); err != nil {
+		t.Fatal(err)
+	}
+	if per := ts.BytesPerSite(spec.Sites); per > 100 {
+		t.Fatalf("columnar state costs %.1f bytes/site (budget 100): %+v", per, ts)
+	}
+	if ts.ColdSiteMonths != spec.Sites*spec.Months {
+		t.Fatalf("expected an all-cold run, got %+v", ts)
+	}
+}
+
+// TestWaveIndexMatchesSchedule replays scheduleVisit's recursion for a
+// grid of crawler schedules and checks waveIndex derives the identical
+// (visit, due) sequence from (spec, month) alone.
+func TestWaveIndexMatchesSchedule(t *testing.T) {
+	const months = 30
+	for _, cs := range []CrawlerSpec{
+		{FirstMonth: 0, LastMonth: months - 1, Cadence: 1},
+		{FirstMonth: 0, LastMonth: months - 1, Cadence: 2},
+		{FirstMonth: 5, LastMonth: months - 1, Cadence: 3},
+		{FirstMonth: 5, LastMonth: 11, Cadence: 1},
+		{FirstMonth: 2, LastMonth: months - 1, Cadence: 4, MaxVisits: 3},
+		{FirstMonth: 0, LastMonth: 0, Cadence: 1},
+		{FirstMonth: 29, LastMonth: 29, Cadence: 7},
+	} {
+		// scheduleVisit's ground truth: visits at FirstMonth + k*Cadence
+		// while within [FirstMonth, LastMonth] and under MaxVisits.
+		want := make(map[int]int)
+		for m, k := cs.FirstMonth, 0; m < months && m <= cs.LastMonth; m, k = m+cs.Cadence, k+1 {
+			if cs.MaxVisits > 0 && k >= cs.MaxVisits {
+				break
+			}
+			want[m] = k
+		}
+		for m := 0; m < months; m++ {
+			k, due := waveIndex(cs, m)
+			wantK, wantDue := want[m]
+			if due != wantDue || (due && k != wantK) {
+				t.Fatalf("%+v month %d: waveIndex = (%d,%v), schedule says (%d,%v)",
+					cs, m, k, due, wantK, wantDue)
+			}
+		}
+	}
+}
+
+// TestTieredRosterLimit documents the uint8 roster-key bound.
+func TestTieredRosterLimit(t *testing.T) {
+	spec := testSpec()
+	spec.Crawlers = nil
+	for i := 0; i < 256; i++ {
+		spec.Crawlers = append(spec.Crawlers, CrawlerSpec{
+			Token: fmt.Sprintf("Bot%d", i), Behavior: "compliant", Cadence: 1,
+		})
+	}
+	if _, err := RunTiered(context.Background(), spec, TierOptions{}); err == nil {
+		t.Fatal("256-entry roster accepted by tiered mode")
+	}
+}

@@ -34,12 +34,21 @@ func NewRand(seed int64) *Rand {
 // parent with different names produce uncorrelated streams; forking is
 // stable across runs.
 func (rn *Rand) Fork(name string) *Rand {
+	return NewRand(rn.ForkSeed(name))
+}
+
+// ForkSeed returns the seed Fork(name) would use, consuming one parent
+// draw exactly as Fork does. A Rand carries kilobytes of generator
+// state, so callers that need millions of sibling streams can derive
+// the 8-byte seeds in order and materialize each source transiently
+// instead of holding every fork live.
+func (rn *Rand) ForkSeed(name string) int64 {
 	var h int64 = 1469598103934665603
 	for i := 0; i < len(name); i++ {
 		h ^= int64(name[i])
 		h *= 1099511628211
 	}
-	return NewRand(rn.r.Int63() ^ h)
+	return rn.r.Int63() ^ h
 }
 
 // Float64 returns a uniform value in [0, 1).
