@@ -15,9 +15,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
-	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/blocking"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/robots"
+	"repro/internal/runstore"
 	"repro/internal/scenario"
 	"repro/internal/webserver"
 )
@@ -42,10 +47,9 @@ type result struct {
 
 // snapshot is the file format.
 type snapshot struct {
-	Schema     string            `json:"schema"`
-	Generated  string            `json:"generated"`
-	GoVersion  string            `json:"go"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	runstore.Attribution
 	Benchmarks map[string]result `json:"benchmarks"`
 	// Baseline is a previous snapshot's benchmark map, embedded verbatim
 	// when -baseline is given, so one file carries the before/after pair.
@@ -186,6 +190,35 @@ func init() {
 		}
 		b.ReportMetric(visits, "crawl_visits")
 	})
+
+	// scenario_engine_store is scenario_engine with the run store
+	// attached: the pair measures the persistence overhead (acceptance
+	// target: <5% over scenario_engine).
+	register("scenario_engine_store", func(b *testing.B) {
+		st, err := runstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := scenario.Observed(snapSeed, 12, 12)
+		var visits float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w, err := st.BeginScenario(
+				runstore.NewMeta(runstore.KindScenario, spec.Name, spec.Seed, spec.CacheKey()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := scenario.RunObserved(context.Background(), spec, 4, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			visits = float64(res.TotalVisits)
+		}
+		b.ReportMetric(visits, "crawl_visits")
+	})
 }
 
 // snapRobotsBody renders a realistic multi-group robots.txt.
@@ -205,7 +238,23 @@ func main() {
 	benchFilter := flag.String("bench", "", "regexp filtering benchmark names (empty = all)")
 	count := flag.Int("count", 1, "runs per benchmark; the fastest (min ns/op) run is recorded to damp machine noise")
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit 1 if any benchmark's ns/op regresses by more than this fraction (e.g. 0.10 = 10%); 0 disables the gate")
+	history := flag.Bool("history", false, "print the per-benchmark trajectory across checked-in BENCH_pr*.json snapshots and exit (no benchmarks run)")
 	flag.Parse()
+	if *history {
+		files := flag.Args()
+		if len(files) == 0 {
+			var err error
+			if files, err = filepath.Glob("BENCH_pr*.json"); err != nil || len(files) == 0 {
+				fmt.Fprintln(os.Stderr, "benchsnap: -history: no BENCH_pr*.json snapshots found (pass paths as arguments)")
+				os.Exit(2)
+			}
+		}
+		if err := printHistory(os.Stdout, files); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *count < 1 {
 		*count = 1
 	}
@@ -220,11 +269,10 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:     "repro-benchsnap/1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchmarks: make(map[string]result),
+		Schema:      "repro-benchsnap/1",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Attribution: runstore.Stamp(),
+		Benchmarks:  make(map[string]result),
 	}
 	for _, e := range registry {
 		if filter != nil && !filter.MatchString(e.name) {
@@ -299,5 +347,99 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsnap:   %s\n", r)
 		}
 		os.Exit(1)
+	}
+}
+
+// prNumber orders snapshot files by the PR number embedded in the
+// conventional BENCH_pr<N>.json name; other names sort after, by name.
+var prNumberRe = regexp.MustCompile(`pr(\d+)`)
+
+func prNumber(path string) int {
+	if m := prNumberRe.FindStringSubmatch(filepath.Base(path)); m != nil {
+		if n, err := strconv.Atoi(m[1]); err == nil {
+			return n
+		}
+	}
+	return 1 << 30
+}
+
+// printHistory renders each benchmark's trajectory — ns/op and
+// allocs/op per snapshot, oldest first — across the given snapshot
+// files. The final column shows the overall trend: first-to-last ns/op
+// speedup.
+func printHistory(w io.Writer, files []string) error {
+	sort.Slice(files, func(i, j int) bool {
+		ni, nj := prNumber(files[i]), prNumber(files[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return files[i] < files[j]
+	})
+
+	snaps := make([]snapshot, len(files))
+	names := make(map[string]struct{})
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &snaps[i]); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		for name := range snaps[i].Benchmarks {
+			names[name] = struct{}{}
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+
+	labels := make([]string, len(files))
+	for i, f := range files {
+		labels[i] = trimSnapName(f)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark (ns/op | allocs)\t%s\ttrend\n", strings.Join(labels, "\t"))
+	for _, name := range ordered {
+		cells := make([]string, len(snaps))
+		var first, last float64
+		for i, s := range snaps {
+			r, ok := s.Benchmarks[name]
+			if !ok {
+				cells[i] = "-"
+				continue
+			}
+			cells[i] = fmt.Sprintf("%s|%d", formatNs(r.NsPerOp), r.AllocsPerOp)
+			if first == 0 {
+				first = r.NsPerOp
+			}
+			last = r.NsPerOp
+		}
+		trend := "-"
+		if first > 0 && last > 0 {
+			trend = fmt.Sprintf("%.2fx", first/last)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", name, strings.Join(cells, "\t"), trend)
+	}
+	return tw.Flush()
+}
+
+// trimSnapName reduces BENCH_pr8.json to pr8 for column headers.
+func trimSnapName(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(name, "BENCH_")
+}
+
+// formatNs renders ns/op compactly: ns below 10µs, µs below 10ms, else ms.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e7:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e4:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
 	}
 }

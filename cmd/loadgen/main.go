@@ -35,7 +35,6 @@ import (
 	"net/http"
 	"net/url"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -45,6 +44,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/policyd"
+	"repro/internal/runstore"
 	"repro/internal/stats"
 )
 
@@ -66,10 +66,9 @@ type result struct {
 }
 
 type snapshot struct {
-	Schema     string            `json:"schema"`
-	Generated  string            `json:"generated"`
-	GoVersion  string            `json:"go"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	runstore.Attribution
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
@@ -87,6 +86,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "parallel workload drivers")
 	zipfS := flag.Float64("zipf", 1.1, "zipf skew for host popularity (0 = uniform)")
 	out := flag.String("o", "", "write a benchsnap-format JSON snapshot here")
+	storeDir := flag.String("store", "", "persist the run to this run-store directory (see cmd/rundiff)")
 	minQPS := flag.Float64("min-qps", 0, "fail unless decisions/sec reaches this")
 	maxAllocs := flag.Int64("max-allocs", -1, "fail if in-process allocs/op exceed this (-1 = no gate)")
 	metrics := flag.String("metrics", "", "write obs metrics (Prometheus text) to this file at end of run (- = stderr)")
@@ -100,7 +100,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*target, *seed, *scale, *snapIdx, *agentList, *wire, *batch, *total,
-		*concurrency, *zipfS, *out, *minQPS, *maxAllocs)
+		*concurrency, *zipfS, *out, *storeDir, *minQPS, *maxAllocs)
 	stopCPU()
 	if err == nil {
 		err = obs.WriteHeapProfile(*memprof)
@@ -115,7 +115,7 @@ func main() {
 }
 
 func run(target string, seed int64, scale float64, snapIdx int, agentList, wire string,
-	batch, total, concurrency int, zipfS float64, out string, minQPS float64, maxAllocs int64) error {
+	batch, total, concurrency int, zipfS float64, out, storeDir string, minQPS float64, maxAllocs int64) error {
 	if batch < 1 {
 		batch = 1
 	}
@@ -242,11 +242,40 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 		fmt.Fprintf(os.Stderr, "loadgen: allocs/op on the cached hot path: %d\n", allocsPerOp)
 	}
 
+	var snapData []byte
+	if out != "" || storeDir != "" {
+		snapData, err = buildSnapshot(version, issued, elapsed, qps, lats, counts, allocsPerOp, batch, concurrency)
+		if err != nil {
+			return err
+		}
+	}
 	if out != "" {
-		if err := writeSnapshot(out, version, issued, elapsed, qps, lats, counts, allocsPerOp, batch, concurrency); err != nil {
+		if err := os.WriteFile(out, snapData, 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", out)
+	}
+	if storeDir != "" {
+		st, err := runstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		name := "loadgen-inproc"
+		if target != "" {
+			name = "loadgen-remote"
+		}
+		specKey := fmt.Sprintf("loadgen|target=%s|scale=%g|snap=%d|agents=%s|wire=%s|batch=%d|n=%d|conc=%d|zipf=%g",
+			target, scale, snapIdx, agentList, wire, batch, total, concurrency, zipfS)
+		mix := runstore.DecisionMix{
+			Issued: int64(issued),
+			Allow:  counts[0], Deny: counts[1], Block: counts[2],
+			Batch: batch, Wire: wire,
+		}
+		id, err := st.SaveLoadgen(runstore.NewMeta(runstore.KindLoadgen, name, seed, specKey), mix, snapData)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: stored run %s in %s\n", id, storeDir)
 	}
 	if minQPS > 0 && qps < minQPS {
 		return fmt.Errorf("throughput gate failed: %.0f decisions/sec < required %.0f", qps, minQPS)
@@ -499,8 +528,8 @@ func measureAllocs(svc *policyd.Service, pool []policyd.Query, batch int) int64 
 	}))
 }
 
-func writeSnapshot(path, version string, issued int, elapsed time.Duration, qps float64,
-	lats []time.Duration, counts [3]int64, allocs int64, batch, concurrency int) error {
+func buildSnapshot(version string, issued int, elapsed time.Duration, qps float64,
+	lats []time.Duration, counts [3]int64, allocs int64, batch, concurrency int) ([]byte, error) {
 	res := result{
 		Iterations: issued,
 		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(issued),
@@ -526,17 +555,16 @@ func writeSnapshot(path, version string, issued int, elapsed time.Duration, qps 
 		name = "policyd_loadgen_remote"
 	}
 	snap := snapshot{
-		Schema:     "repro-benchsnap/1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchmarks: map[string]result{name: res},
+		Schema:      "repro-benchsnap/1",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Attribution: runstore.Stamp(),
+		Benchmarks:  map[string]result{name: res},
 	}
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return append(data, '\n'), nil
 }
 
 // pctile reads the q-quantile from sorted latencies.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runstore"
 	"repro/internal/scenario"
 )
 
@@ -52,6 +53,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		format   = fs.String("format", "text", "output format: text or json")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		metrics  = fs.String("metrics", "", "write obs metrics (Prometheus text) to this file at end of run (- = stderr)")
+		storeDir = fs.String("store", "", "persist the run to this run-store directory (see cmd/rundiff)")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = fs.String("memprofile", "", "write a heap profile to this file at end of run")
 	)
@@ -133,20 +135,47 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return 1
 	}
 
+	var writer *runstore.ScenarioWriter
+	var observer scenario.Observer // nil unless storing (a typed-nil writer must not reach the engine)
+	if *storeDir != "" {
+		st, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			return 1
+		}
+		writer, err = st.BeginScenario(
+			runstore.NewMeta(runstore.KindScenario, spec.Name, spec.Seed, spec.CacheKey()))
+		if err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			return 1
+		}
+		observer = writer
+	}
+
 	start := time.Now()
 	var res *scenario.Result
 	var tierStats scenario.TierStats
 	if *tiered {
 		res, err = scenario.RunTiered(ctx, spec, scenario.TierOptions{
-			HotSites: *hot, Workers: *workers, Stats: &tierStats,
+			HotSites: *hot, Workers: *workers, Stats: &tierStats, Observer: observer,
 		})
 	} else {
-		res, err = scenario.Run(ctx, spec, *workers)
+		res, err = scenario.RunObserved(ctx, spec, *workers, observer)
 	}
 	stopCPU()
 	if err != nil {
+		if writer != nil {
+			writer.Abort()
+		}
 		fmt.Fprintf(stderr, "scenario: %v\n", err)
 		return 1
+	}
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			fmt.Fprintf(stderr, "scenario: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "scenario: stored run %s in %s\n", writer.ID(), *storeDir)
 	}
 	if err := obs.WriteHeapProfile(*memprof); err != nil {
 		fmt.Fprintf(stderr, "scenario: %v\n", err)

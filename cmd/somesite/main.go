@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/runstore"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func run() int {
 		format   = flag.String("format", "text", "output format: text, markdown, or json")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		workers  = flag.Int("workers", 0, "substrate/probe pool size (0 = config default)")
+		storeDir = flag.String("store", "", "persist the run to this run-store directory (see cmd/rundiff)")
 	)
 	flag.Parse()
 
@@ -89,6 +92,28 @@ func run() int {
 		}
 	}
 
+	var writer *runstore.ExperimentsWriter
+	if *storeDir != "" {
+		st, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
+			return 2
+		}
+		cfgKey, err := json.Marshal(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
+			return 2
+		}
+		writer, err = st.BeginExperiments(runstore.NewMeta(
+			runstore.KindExperiments, "somesite", cfg.Seed,
+			string(cfgKey)+"|only="+strings.Join(ids, ",")))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
+			return 2
+		}
+		sink = teeSink{primary: sink, store: writer}
+	}
+
 	start := time.Now()
 	results, err := core.RunAll(ctx, cfg, core.Options{
 		Parallelism: *parallel,
@@ -99,11 +124,21 @@ func run() int {
 		err = cerr
 	}
 	if err != nil {
+		if writer != nil {
+			writer.Abort()
+		}
 		fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
 		if results == nil {
 			return 2 // nothing ran (unknown id, bad flags)
 		}
 		return 1
+	}
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "somesite: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "somesite: stored run %s in %s\n", writer.ID(), *storeDir)
 	}
 	if *format == "text" {
 		fmt.Printf("(%d experiments completed in %v, parallelism %d)\n",
@@ -111,3 +146,21 @@ func run() int {
 	}
 	return 0
 }
+
+// teeSink duplicates every result into the run-store writer alongside
+// the user-facing sink. Close covers only the primary: the store writer
+// commits (or aborts) explicitly so a failed run is never persisted as
+// complete.
+type teeSink struct {
+	primary core.Sink
+	store   *runstore.ExperimentsWriter
+}
+
+func (t teeSink) Emit(r *core.Result) error {
+	if err := t.store.Emit(r); err != nil {
+		return err
+	}
+	return t.primary.Emit(r)
+}
+
+func (t teeSink) Close() error { return t.primary.Close() }

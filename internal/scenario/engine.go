@@ -28,6 +28,13 @@ import (
 // derived sequentially before the parallel pass, which makes the result
 // bit-identical at any worker count.
 func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
+	return RunObserved(ctx, spec, workers, nil)
+}
+
+// RunObserved is Run with an Observer attached: the engine streams the
+// merged months and the finished result to ob while finalizing. A nil ob
+// is Run exactly.
+func RunObserved(ctx context.Context, spec Spec, workers int, ob Observer) (*Result, error) {
 	if obs.Enabled() {
 		defer mRunWallNS.ObserveSince(time.Now())
 	}
@@ -104,7 +111,7 @@ func Run(ctx context.Context, spec Spec, workers int) (*Result, error) {
 			evidence[tok] = evidence[tok].Merge(ev)
 		}
 	}
-	res.finalize(evidence)
+	res.finalize(evidence, ob)
 	return res, nil
 }
 
@@ -176,7 +183,7 @@ const siteIP = "203.0.113.80"
 // runSite simulates one site's whole timeline on its shard's network.
 func runSite(ctx context.Context, sp Spec, roster []resolvedCrawler, curve []float64,
 	idx int, rn *stats.Rand, start time.Time, nw *netsim.Network, farm *webserver.Farm) (*siteResult, error) {
-	domain := fmt.Sprintf("site-%05d.scenario.test", idx)
+	domain := SiteDomain(idx)
 	site, err := farm.StartSite(webserver.Config{
 		Domain: domain,
 		IP:     siteIP,

@@ -139,9 +139,23 @@ func newResult(sp Spec, start time.Time) *Result {
 	return res
 }
 
-// finalize classifies the merged run-wide evidence and computes the
-// run-level totals from the merged months.
-func (r *Result) finalize(evidence map[string]measure.Evidence) {
+// An Observer receives a run's semantic outputs as the engine finalizes
+// them: one ObserveMonth call per merged month in month order, then one
+// ObserveResult with the completed result. Both engines (Run and
+// RunTiered) fire the same hooks from the shared finalize path, so an
+// observer — the runstore writer is the canonical one — sees identical
+// streams whichever engine produced the run. Observers run on the
+// finalizing goroutine after the parallel pass has joined; they need no
+// locking of their own.
+type Observer interface {
+	ObserveMonth(m MonthMetrics)
+	ObserveResult(r *Result)
+}
+
+// finalize classifies the merged run-wide evidence, computes the
+// run-level totals from the merged months, and streams the finished
+// months and result to the observer, if any.
+func (r *Result) finalize(evidence map[string]measure.Evidence, ob Observer) {
 	r.Verdicts = make(map[string]measure.Verdict, len(evidence))
 	for tok, ev := range evidence {
 		r.Verdicts[tok] = measure.ClassifyEvidence(ev)
@@ -150,6 +164,12 @@ func (r *Result) finalize(evidence map[string]measure.Evidence) {
 		r.TotalVisits += m.Visits
 		r.TotalDisallowedBytes += m.DisallowedBytes
 		r.TotalBlockedRequests += m.BlockedRequests
+	}
+	if ob != nil {
+		for _, m := range r.Months {
+			ob.ObserveMonth(m)
+		}
+		ob.ObserveResult(r)
 	}
 }
 

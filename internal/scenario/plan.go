@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SiteDomain is the canonical domain of scenario site i, shared by both
+// engines and the run store's per-site segments.
+func SiteDomain(i int) string {
+	return fmt.Sprintf("site-%05d.scenario.test", i)
+}
+
+// Site policy styles, as SitePlan.Style reports them.
+const (
+	// StyleWildcard is a blanket `User-agent: *` disallow.
+	StyleWildcard = "wildcard"
+	// StyleMeasurement is the §5.1 per-agent measurement list naming
+	// every Table 1 agent.
+	StyleMeasurement = "measurement"
+	// StyleManaged is a managed-service list refreshed monthly.
+	StyleManaged = "managed"
+	// StyleFrozen is a hand-written per-agent list frozen at adoption.
+	StyleFrozen = "frozen-list"
+)
+
+// SitePlan is one site's derivable policy timeline: when it adopts an
+// AI-restricting robots.txt, in which style, and whether it sits behind
+// the active-blocking provider. Everything here is a pure function of
+// (spec, seed, site index) — the same four RNG draws runSite and the
+// tiered planSite consume — so plans can be recomputed for any run
+// without re-running the simulation, and two stored runs can be diffed
+// host by host for policy and blocker flips.
+type SitePlan struct {
+	Site   int    `json:"site"`
+	Domain string `json:"domain"`
+	// AdoptMonth is the month the site first publishes an AI-restricting
+	// robots.txt; -1 means it never adopts.
+	AdoptMonth int `json:"adopt_month"`
+	// Style is the adopted policy's shape (Style* constants); empty when
+	// the site never adopts.
+	Style string `json:"style,omitempty"`
+	// Blocker reports whether the site is behind the active-blocking
+	// provider (blocking turns on at the spec's rollout month).
+	Blocker bool `json:"blocker,omitempty"`
+}
+
+// SitePlans derives every site's plan for a spec. The derivation
+// replays the engines' exact per-site RNG streams (seeds forked
+// sequentially in site order, four draws per site in fixed order), so
+// the plans are what any Run or RunTiered of the same spec enacts.
+func SitePlans(spec Spec) ([]SitePlan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sp := spec.withDefaults()
+	curve := sp.monthlyCurve()
+	root := stats.NewRand(sp.Seed).Fork("scenario")
+	plans := make([]SitePlan, sp.Sites)
+	for i := range plans {
+		seed := root.ForkSeed(fmt.Sprintf("site-%d", i))
+		plans[i] = planFor(sp, curve, i, seed)
+	}
+	return plans, nil
+}
+
+// planFor computes one site's plan from its private stream — the same
+// draw order as runSite and the columnar planSite.
+func planFor(sp Spec, curve []float64, i int, seed int64) SitePlan {
+	rn := stats.NewRand(seed)
+	adoptRoll := rn.Float64()
+	perAgentRoll := rn.Float64()
+	managedRoll := rn.Float64()
+	blockedRoll := rn.Float64()
+
+	p := SitePlan{Site: i, Domain: SiteDomain(i), AdoptMonth: -1}
+	perAgent, managed := false, false
+	switch sp.Adoption.Source {
+	case SourceMeasurement:
+		p.AdoptMonth = 0
+		perAgent = i%2 == 1
+	case SourceNone:
+	default:
+		for m, target := range curve {
+			if adoptRoll < target {
+				p.AdoptMonth = m
+				break
+			}
+		}
+		perAgent = perAgentRoll < sp.Adoption.PerAgentShare
+		managed = p.AdoptMonth >= 0 && perAgent && managedRoll < sp.Manager.Uptake
+	}
+	if p.AdoptMonth >= 0 {
+		switch {
+		case !perAgent:
+			p.Style = StyleWildcard
+		case sp.Adoption.Source == SourceMeasurement:
+			p.Style = StyleMeasurement
+		case managed:
+			p.Style = StyleManaged
+		default:
+			p.Style = StyleFrozen
+		}
+	}
+	p.Blocker = blockedRoll < sp.Blocking.Share
+	return p
+}

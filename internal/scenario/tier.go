@@ -141,7 +141,7 @@ func RunTiered(ctx context.Context, spec Spec, opts TierOptions) (*Result, error
 		ts.CompiledWaves += w.stats.CompiledWaves
 		ts.ReplayedWaves += w.stats.ReplayedWaves
 	}
-	res.finalize(evidence)
+	res.finalize(evidence, opts.Observer)
 
 	if opts.Stats != nil {
 		ts.DistinctPolicies = len(world.policies) - 1
@@ -165,6 +165,10 @@ type TierOptions struct {
 	Workers int
 	// Stats, when non-nil, receives the run's tier accounting.
 	Stats *TierStats
+	// Observer, when non-nil, receives the merged months and finished
+	// result from the finalize path, exactly as RunObserved delivers
+	// them for the full engine.
+	Observer Observer
 }
 
 // TierStats reports how a tiered run split its work. Site-month and
@@ -438,7 +442,7 @@ func (w *tierWorker) runHotMonth(ctx context.Context, i, m int) error {
 	t, world := w.tail, w.world
 	w.applyMonthState(i, m)
 
-	domain := fmt.Sprintf("site-%05d.scenario.test", i)
+	domain := SiteDomain(i)
 	site, err := w.hotFarm.StartSite(webserver.Config{
 		Domain: domain,
 		IP:     siteIP,
