@@ -299,3 +299,58 @@ func init() {
 		}
 	})
 }
+
+// compileCorpus builds the corpus the compile benchmark pair shares.
+func compileCorpus(b *testing.B) *corpus.Corpus {
+	b.Helper()
+	c, err := corpus.New(context.Background(), corpus.Config{Seed: snapSeed, Scale: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// The snapshot-advance cost pair: a cold month-to-month recompile
+// against an incremental one seeded with the previous snapshot, where
+// hosts whose normalized robots.txt (and ai.txt/blocker state) did not
+// change reuse their compiled shard entries.
+func init() {
+	const at = corpus.GPTBotAnnouncedIndex + 1
+
+	register("policyd_compile_full", func(b *testing.B) {
+		c := compileCorpus(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, err := policyd.FromCorpus(ctx, c, at, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap.Len() == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+	})
+
+	register("policyd_compile_incremental", func(b *testing.B) {
+		c := compileCorpus(b)
+		ctx := context.Background()
+		prev, err := policyd.FromCorpus(ctx, c, at-1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var reused int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap, err := policyd.FromCorpusIncremental(ctx, c, at, 8, prev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reused = snap.ReusedHosts()
+			if reused == 0 {
+				b.Fatal("incremental compile reused nothing")
+			}
+		}
+		b.ReportMetric(float64(reused), "hosts-reused")
+	})
+}

@@ -239,7 +239,15 @@ func main() {
 	count := flag.Int("count", 1, "runs per benchmark; the fastest (min ns/op) run is recorded to damp machine noise")
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit 1 if any benchmark's ns/op regresses by more than this fraction (e.g. 0.10 = 10%); 0 disables the gate")
 	history := flag.Bool("history", false, "print the per-benchmark trajectory across checked-in BENCH_pr*.json snapshots and exit (no benchmarks run)")
+	merge := flag.Bool("merge", false, "merge the benchmark maps of the snapshot files given as arguments into one -o snapshot and exit (no benchmarks run)")
 	flag.Parse()
+	if *merge {
+		if err := mergeSnapshots(*out, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: -merge: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *history {
 		files := flag.Args()
 		if len(files) == 0 {
@@ -348,6 +356,58 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// mergeSnapshots combines the benchmark maps of several benchsnap-schema
+// files (e.g. one per loadgen process in a fleet run) into a single
+// snapshot at out. When two inputs carry the same benchmark name, the
+// faster entry (min ns/op) wins, mirroring the -count selection rule;
+// its metrics that read as totals across processes (decisions, QPS) stay
+// per-process, so give concurrent processes distinct -name values when
+// the aggregate matters.
+func mergeSnapshots(out string, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no input snapshots given")
+	}
+	merged := snapshot{
+		Schema:      "repro-benchsnap/1",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Attribution: runstore.Stamp(),
+		Benchmarks:  make(map[string]result),
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var s snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		if len(s.Benchmarks) == 0 {
+			return fmt.Errorf("%s: no benchmarks (schema %q)", f, s.Schema)
+		}
+		for name, r := range s.Benchmarks {
+			if prev, ok := merged.Benchmarks[name]; ok {
+				fmt.Fprintf(os.Stderr, "benchsnap: -merge: %s appears in multiple inputs; keeping the faster run\n", name)
+				if prev.NsPerOp <= r.NsPerOp {
+					continue
+				}
+			}
+			merged.Benchmarks[name] = r
+		}
+	}
+	data, err := json.MarshalIndent(&merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %s (%d benchmarks merged from %d files)\n",
+		out, len(merged.Benchmarks), len(files))
+	return nil
 }
 
 // prNumber orders snapshot files by the PR number embedded in the

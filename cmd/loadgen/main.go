@@ -4,15 +4,28 @@
 //
 // By default it compiles a corpus snapshot and hammers the service
 // in-process (the pure engine cost); with -target it speaks the JSON
-// API to a running cmd/policyd over TCP, and -wire binary switches to
-// the length-prefixed frame protocol (point -target at the daemon's
-// -frame-addr). Hosts are drawn from a zipf popularity distribution over
-// the corpus domains, agents from a configurable mix, and queries are
-// issued singly or in batches.
+// API to a running cmd/policyd or cmd/policygw over TCP, and -wire
+// binary switches to the length-prefixed frame protocol (point -target
+// at the daemon's -frame-addr). Hosts are drawn from a zipf popularity
+// distribution over the corpus domains, agents from a configurable mix,
+// and queries are issued singly or in batches.
+//
+// -target takes a comma-separated endpoint list: workers round-robin
+// across the endpoints and the decision mix is reported per endpoint,
+// so one process can drive a gateway and a direct replica side by side
+// (or every replica of a fleet) and expose any routing skew. Rate
+// limiting is handled on both wires — HTTP 429 (honoring
+// X-Retry-After-Ms, falling back to Retry-After) and the binary
+// rate-limit frame both back off and retry, with throttle counts
+// reported at the end.
 //
 //	go run ./cmd/loadgen -scale 0.05 -n 500000
 //	go run ./cmd/loadgen -target http://localhost:8473 -batch 64 -concurrency 4
-//	go run ./cmd/loadgen -target localhost:8474 -wire binary -batch 256
+//	go run ./cmd/loadgen -target localhost:9474,localhost:8474 -wire binary -batch 256
+//
+// Against a gateway, the end of a stored run (-store) also captures
+// /v1/quotas as the quotas.json semantic segment, so cmd/rundiff
+// surfaces per-tenant quota shifts across runs.
 //
 // Latency percentiles come from a fixed-size per-worker reservoir
 // (unbiased sample of the sampled calls), so arbitrarily long runs hold
@@ -27,6 +40,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -75,7 +89,8 @@ type snapshot struct {
 var defaultAgents = "GPTBot,ClaudeBot,CCBot,Bytespider,Googlebot"
 
 func main() {
-	target := flag.String("target", "", "base URL of a running policyd (empty = in-process service)")
+	target := flag.String("target", "", "comma-separated endpoints of running policyd/policygw daemons (empty = in-process service)")
+	name := flag.String("name", "", "benchmark entry and run name (default derived from the mode)")
 	seed := flag.Int64("seed", stats.DefaultSeed, "corpus seed (must match the target's)")
 	scale := flag.Float64("scale", 0.05, "corpus scale (must match the target's)")
 	snapIdx := flag.Int("snap", len(corpus.Snapshots)-1, "corpus snapshot index (in-process mode)")
@@ -99,7 +114,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
-	err = run(*target, *seed, *scale, *snapIdx, *agentList, *wire, *batch, *total,
+	err = run(*target, *name, *seed, *scale, *snapIdx, *agentList, *wire, *batch, *total,
 		*concurrency, *zipfS, *out, *storeDir, *minQPS, *maxAllocs)
 	stopCPU()
 	if err == nil {
@@ -114,7 +129,7 @@ func main() {
 	}
 }
 
-func run(target string, seed int64, scale float64, snapIdx int, agentList, wire string,
+func run(target, name string, seed int64, scale float64, snapIdx int, agentList, wire string,
 	batch, total, concurrency int, zipfS float64, out, storeDir string, minQPS float64, maxAllocs int64) error {
 	if batch < 1 {
 		batch = 1
@@ -127,8 +142,19 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 	default:
 		return fmt.Errorf("unknown -wire %q (want json or binary)", wire)
 	}
-	if wire == "binary" && target == "" {
-		return fmt.Errorf("-wire binary needs -target (a cmd/policyd -frame-addr)")
+	var targets []string
+	for _, t := range strings.Split(target, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
+	if wire == "binary" && len(targets) == 0 {
+		return fmt.Errorf("-wire binary needs -target (a cmd/policyd or cmd/policygw -frame-addr)")
+	}
+	if concurrency < len(targets) {
+		// Every endpoint gets at least one worker, or its mix would be
+		// silently empty.
+		concurrency = len(targets)
 	}
 	ctx := context.Background()
 
@@ -146,39 +172,37 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 	}
 
 	var svc *policyd.Service
-	version := "remote"
-	if target == "" {
+	if len(targets) == 0 {
 		snap, err := policyd.FromCorpus(ctx, c, snapIdx, 0)
 		if err != nil {
 			return err
 		}
 		svc = policyd.NewService(snap)
-		version = snap.Version
 		fmt.Fprintf(os.Stderr, "loadgen: in-process %s\n", snap)
 	} else {
-		fmt.Fprintf(os.Stderr, "loadgen: driving %s with %d corpus hosts\n", target, len(hosts))
+		fmt.Fprintf(os.Stderr, "loadgen: driving %s with %d corpus hosts\n",
+			strings.Join(targets, ", "), len(hosts))
 	}
 
 	pool := buildWorkload(seed, hosts, agents, zipfS, minInt(total, 1<<16))
 	driver := &driver{
-		svc: svc, target: strings.TrimRight(target, "/"), wire: wire,
+		svc: svc, targets: targets, wire: wire,
 		pool: pool, batch: batch,
 	}
 	latRand := stats.NewRand(seed).Fork("loadgen-latency")
-	// Warm the roster/memo paths so the timed run measures steady state.
-	if err := driver.drive(0, minInt(len(pool), 4096), nil, newReservoir(latRand.Fork("warm"))); err != nil {
-		return err
+	// Warm the roster/memo paths (and every endpoint) so the timed run
+	// measures steady state.
+	for e := 0; e < maxInt(1, len(targets)); e++ {
+		warm := workerOut{res: newReservoir(latRand.Fork(fmt.Sprintf("warm-%d", e)))}
+		if err := driver.drive(e, 0, minInt(len(pool), 4096), &warm); err != nil {
+			return err
+		}
 	}
 
 	// Timed run: each worker walks an offset slice of the cycle so the
 	// union covers the pool, sampling every 16th call's latency into a
-	// fixed-size reservoir.
+	// fixed-size reservoir. Workers round-robin across the endpoints.
 	perWorker := total / concurrency
-	type workerOut struct {
-		res    *reservoir
-		counts [3]int64
-		err    error
-	}
 	outs := make([]workerOut, concurrency)
 	for w := range outs {
 		outs[w].res = newReservoir(latRand.Fork(fmt.Sprintf("worker-%d", w)))
@@ -190,7 +214,7 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 		go func(w int) {
 			defer wg.Done()
 			o := &outs[w]
-			o.err = driver.drive(w*perWorker, perWorker, &o.counts, o.res)
+			o.err = driver.drive(w, w*perWorker, perWorker, o)
 		}(w)
 	}
 	wg.Wait()
@@ -198,19 +222,24 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 
 	var lats []time.Duration
 	var counts [3]int64
-	var sampled int64
+	var sampled, throttled, swaps int64
 	var maxLat time.Duration
-	for _, o := range outs {
+	perEndpoint := make([][3]int64, maxInt(1, len(targets)))
+	for w, o := range outs {
 		if o.err != nil {
 			return o.err
 		}
 		lats = append(lats, o.res.samples...)
 		sampled += o.res.seen
+		throttled += o.throttled
+		swaps += o.swaps
 		if o.res.max > maxLat {
 			maxLat = o.res.max
 		}
+		e := w % len(perEndpoint)
 		for i := range counts {
 			counts[i] += o.counts[i]
+			perEndpoint[e][i] += o.counts[i]
 		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -238,13 +267,35 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 			100*float64(counts[1])/float64(decided),
 			100*float64(counts[2])/float64(decided))
 	}
+	if len(targets) > 1 {
+		for e, m := range perEndpoint {
+			if n := m[0] + m[1] + m[2]; n > 0 {
+				fmt.Fprintf(os.Stderr, "loadgen: %s: %d decisions — allow %.1f%% deny %.1f%% block %.1f%%\n",
+					targets[e], n, 100*float64(m[0])/float64(n), 100*float64(m[1])/float64(n), 100*float64(m[2])/float64(n))
+			}
+		}
+	}
+	if throttled > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: rate limited %d times (backed off per Retry-After, then retried)\n", throttled)
+	}
+	if swaps > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: observed %d snapshot rollovers mid-run\n", swaps)
+	}
 	if allocsPerOp >= 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: allocs/op on the cached hot path: %d\n", allocsPerOp)
 	}
 
+	benchName := name
+	if benchName == "" {
+		benchName = "policyd_loadgen_inproc"
+		if len(targets) > 0 {
+			benchName = "policyd_loadgen_remote"
+		}
+	}
 	var snapData []byte
 	if out != "" || storeDir != "" {
-		snapData, err = buildSnapshot(version, issued, elapsed, qps, lats, counts, allocsPerOp, batch, concurrency)
+		snapData, err = buildSnapshot(benchName, issued, elapsed, qps, lats, counts,
+			throttled, swaps, allocsPerOp, batch, concurrency)
 		if err != nil {
 			return err
 		}
@@ -260,18 +311,25 @@ func run(target string, seed int64, scale float64, snapIdx int, agentList, wire 
 		if err != nil {
 			return err
 		}
-		name := "loadgen-inproc"
-		if target != "" {
-			name = "loadgen-remote"
+		runName := name
+		if runName == "" {
+			runName = "loadgen-inproc"
+			if len(targets) > 0 {
+				runName = "loadgen-remote"
+			}
 		}
 		specKey := fmt.Sprintf("loadgen|target=%s|scale=%g|snap=%d|agents=%s|wire=%s|batch=%d|n=%d|conc=%d|zipf=%g",
-			target, scale, snapIdx, agentList, wire, batch, total, concurrency, zipfS)
+			strings.Join(targets, "+"), scale, snapIdx, agentList, wire, batch, total, concurrency, zipfS)
 		mix := runstore.DecisionMix{
 			Issued: int64(issued),
 			Allow:  counts[0], Deny: counts[1], Block: counts[2],
 			Batch: batch, Wire: wire,
 		}
-		id, err := st.SaveLoadgen(runstore.NewMeta(runstore.KindLoadgen, name, seed, specKey), mix, snapData)
+		// A gateway target exposes its per-tenant quota ledger; capture it
+		// as the quotas.json semantic segment. Plain policyd replicas
+		// don't serve /v1/quotas — that's "no segment", not an error.
+		quotas := fetchQuotas(targets)
+		id, err := st.SaveLoadgenQuotas(runstore.NewMeta(runstore.KindLoadgen, runName, seed, specKey), mix, quotas, snapData)
 		if err != nil {
 			return err
 		}
@@ -355,23 +413,46 @@ func (r *reservoir) add(d time.Duration) {
 	}
 }
 
+// workerOut accumulates one worker's share of the run: its latency
+// reservoir, action counts, rate-limit backoffs, and the snapshot
+// rollovers it observed on the wire.
+type workerOut struct {
+	res       *reservoir
+	counts    [3]int64
+	throttled int64
+	swaps     int64
+	err       error
+}
+
 // driver issues the workload in-process, over the JSON HTTP API, or over
-// the binary frame protocol.
+// the binary frame protocol. With multiple targets, worker w drives
+// targets[w mod len(targets)].
 type driver struct {
-	svc    *policyd.Service
-	target string
-	wire   string
-	pool   []policyd.Query
-	batch  int
+	svc     *policyd.Service
+	targets []string
+	wire    string
+	pool    []policyd.Query
+	batch   int
 
 	clientOnce sync.Once
 	client     *http.Client
 }
 
-// drive issues n decisions starting at pool offset off, feeding every
-// 16th call's latency into res and accumulating the action mix.
-func (d *driver) drive(off, n int, counts *[3]int64, res *reservoir) error {
+// endpoint picks worker w's target ("" in-process).
+func (d *driver) endpoint(w int) string {
+	if len(d.targets) == 0 {
+		return ""
+	}
+	return d.targets[w%len(d.targets)]
+}
+
+// drive issues n decisions starting at pool offset off as worker w,
+// feeding every 16th call's latency into o.res and accumulating the
+// action mix. Rate-limited calls sleep the server's advertised backoff
+// and retry — a throttle shapes traffic, it never fails the run.
+func (d *driver) drive(worker, off, n int, o *workerOut) error {
 	const sampleEvery = 16
+	tgt := d.endpoint(worker)
 	qs := make([]policyd.Query, 0, d.batch)
 	fill := func(done int) []policyd.Query {
 		qs = qs[:0]
@@ -385,15 +466,16 @@ func (d *driver) drive(off, n int, counts *[3]int64, res *reservoir) error {
 		// Both the in-process engine and the frame protocol answer with
 		// []policyd.Decision into a reused buffer — the loop is identical
 		// apart from the call.
-		var fc *policyd.FrameClient
+		var fc *policyd.FrameClientV2
+		lastVersion := ""
 		if d.svc == nil {
-			conn, err := net.Dial("tcp", frameAddr(d.target))
+			conn, err := net.Dial("tcp", frameAddr(tgt))
 			if err != nil {
-				return fmt.Errorf("remote: %w", err)
+				return fmt.Errorf("remote %s: %w", tgt, err)
 			}
-			fc, err = policyd.NewFrameClient(conn)
+			fc, err = policyd.NewFrameClientV2(conn)
 			if err != nil {
-				return fmt.Errorf("remote: %w", err)
+				return fmt.Errorf("remote %s: %w", tgt, err)
 			}
 			defer fc.Close()
 		}
@@ -412,19 +494,34 @@ func (d *driver) drive(off, n int, counts *[3]int64, res *reservoir) error {
 			case d.svc != nil:
 				out = d.svc.DecideBatch(qs, out[:0])
 			default:
-				var err error
-				out, err = fc.Decide(qs, out[:0])
-				if err != nil {
-					return fmt.Errorf("remote: %w", err)
+				for {
+					var version string
+					var err error
+					out, version, err = fc.Decide(qs, out[:0])
+					var rle *policyd.RateLimitError
+					if errors.As(err, &rle) {
+						o.throttled++
+						time.Sleep(rle.RetryAfter)
+						continue
+					}
+					if err != nil {
+						return fmt.Errorf("remote %s: %w", tgt, err)
+					}
+					if version != lastVersion {
+						if lastVersion != "" {
+							o.swaps++
+						}
+						lastVersion = version
+					}
+					break
 				}
 			}
 			if sample {
+				res := o.res
 				res.add(time.Since(t0))
 			}
-			if counts != nil {
-				for _, dec := range out {
-					counts[dec.Action]++
-				}
+			for _, dec := range out {
+				o.counts[dec.Action]++
 			}
 			done += len(qs)
 			calls++
@@ -434,26 +531,43 @@ func (d *driver) drive(off, n int, counts *[3]int64, res *reservoir) error {
 
 	d.clientOnce.Do(func() { d.client = &http.Client{Timeout: 30 * time.Second} })
 	calls := 0
+	lastVersion := ""
 	for done := 0; done < n; {
 		qs := fill(done)
 		t0 := time.Now()
-		decs, err := d.remote(qs)
-		if err != nil {
-			return fmt.Errorf("remote: %w", err)
+		var decs []policyd.DecisionJSON
+		for {
+			var retryAfter time.Duration
+			var version string
+			var err error
+			decs, version, retryAfter, err = d.remote(tgt, qs)
+			if err != nil {
+				return fmt.Errorf("remote %s: %w", tgt, err)
+			}
+			if retryAfter > 0 {
+				o.throttled++
+				time.Sleep(retryAfter)
+				continue
+			}
+			if version != "" && version != lastVersion {
+				if lastVersion != "" {
+					o.swaps++
+				}
+				lastVersion = version
+			}
+			break
 		}
 		if calls%sampleEvery == 0 {
-			res.add(time.Since(t0))
+			o.res.add(time.Since(t0))
 		}
-		if counts != nil {
-			for _, dec := range decs {
-				switch dec.Action {
-				case "allow":
-					counts[0]++
-				case "deny":
-					counts[1]++
-				case "block":
-					counts[2]++
-				}
+		for _, dec := range decs {
+			switch dec.Action {
+			case "allow":
+				o.counts[0]++
+			case "deny":
+				o.counts[1]++
+			case "block":
+				o.counts[2]++
 			}
 		}
 		done += len(qs)
@@ -469,45 +583,102 @@ func frameAddr(target string) string {
 	return strings.TrimSuffix(addr, "/")
 }
 
-// remote issues one API call for the query group.
-func (d *driver) remote(qs []policyd.Query) ([]policyd.DecisionJSON, error) {
+// retryAfterOf reads a 429's backoff: X-Retry-After-Ms (exact
+// milliseconds, the gateway's extension header) preferred, standard
+// Retry-After seconds as fallback, 100ms when neither parses.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if ms := resp.Header.Get("X-Retry-After-Ms"); ms != "" {
+		var n int64
+		if _, err := fmt.Sscanf(ms, "%d", &n); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		var n int64
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 100 * time.Millisecond
+}
+
+// remote issues one API call for the query group against tgt. A 429
+// returns a positive retryAfter and no decisions; the serving snapshot
+// version comes from the X-Policyd-Version response header when the
+// server sends one (the gateway does).
+func (d *driver) remote(tgt string, qs []policyd.Query) (decs []policyd.DecisionJSON, version string, retryAfter time.Duration, err error) {
+	base := tgt
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	var resp *http.Response
 	if d.batch == 1 {
 		q := qs[0]
-		u := d.target + "/v1/decide?host=" + url.QueryEscape(q.Host) +
+		u := base + "/v1/decide?host=" + url.QueryEscape(q.Host) +
 			"&agent=" + url.QueryEscape(q.Agent) + "&path=" + url.QueryEscape(q.Path)
-		resp, err := d.client.Get(u)
+		resp, err = d.client.Get(u)
+	} else {
+		var body []byte
+		body, err = json.Marshal(policyd.BatchRequest{Queries: qs})
 		if err != nil {
-			return nil, err
+			return nil, "", 0, err
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			body, _ := io.ReadAll(resp.Body)
-			return nil, fmt.Errorf("decide: %s: %s", resp.Status, body)
-		}
-		var dj policyd.DecisionJSON
-		if err := json.NewDecoder(resp.Body).Decode(&dj); err != nil {
-			return nil, err
-		}
-		return []policyd.DecisionJSON{dj}, nil
+		resp, err = d.client.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
 	}
-	body, err := json.Marshal(policyd.BatchRequest{Queries: qs})
 	if err != nil {
-		return nil, err
-	}
-	resp, err := d.client.Post(d.target+"/v1/batch", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+		return nil, "", 0, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return nil, "", retryAfterOf(resp), nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("batch: %s: %s", resp.Status, msg)
+		return nil, "", 0, fmt.Errorf("%s: %s", resp.Status, msg)
+	}
+	version = resp.Header.Get("X-Policyd-Version")
+	if d.batch == 1 {
+		var dj policyd.DecisionJSON
+		if err := json.NewDecoder(resp.Body).Decode(&dj); err != nil {
+			return nil, "", 0, err
+		}
+		return []policyd.DecisionJSON{dj}, version, 0, nil
 	}
 	var br policyd.BatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		return nil, err
+		return nil, "", 0, err
 	}
-	return br.Decisions, nil
+	return br.Decisions, version, 0, nil
+}
+
+// fetchQuotas asks each target for its gateway quota ledger, returning
+// the first that answers. Plain replicas 404 here; only gateways carry
+// the endpoint.
+func fetchQuotas(targets []string) *runstore.QuotaAccounting {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, tgt := range targets {
+		base := tgt
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			base = "http://" + base
+		}
+		resp, err := client.Get(base + "/v1/quotas")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var acc runstore.QuotaAccounting
+		err = json.NewDecoder(resp.Body).Decode(&acc)
+		resp.Body.Close()
+		if err == nil {
+			return &acc
+		}
+	}
+	return nil
 }
 
 // measureAllocs reports steady-state allocations per call on the warmed
@@ -528,8 +699,8 @@ func measureAllocs(svc *policyd.Service, pool []policyd.Query, batch int) int64 
 	}))
 }
 
-func buildSnapshot(version string, issued int, elapsed time.Duration, qps float64,
-	lats []time.Duration, counts [3]int64, allocs int64, batch, concurrency int) ([]byte, error) {
+func buildSnapshot(name string, issued int, elapsed time.Duration, qps float64,
+	lats []time.Duration, counts [3]int64, throttled, swaps, allocs int64, batch, concurrency int) ([]byte, error) {
 	res := result{
 		Iterations: issued,
 		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(issued),
@@ -542,6 +713,12 @@ func buildSnapshot(version string, issued int, elapsed time.Duration, qps float6
 			"block":             float64(counts[2]),
 		},
 	}
+	if throttled > 0 {
+		res.Metrics["rate_limited"] = float64(throttled)
+	}
+	if swaps > 0 {
+		res.Metrics["snapshot_rollovers"] = float64(swaps)
+	}
 	if allocs >= 0 {
 		res.AllocsPerOp = allocs
 	}
@@ -549,10 +726,6 @@ func buildSnapshot(version string, issued int, elapsed time.Duration, qps float6
 		res.Metrics["p50_ns"] = float64(pctile(lats, 0.50).Nanoseconds())
 		res.Metrics["p90_ns"] = float64(pctile(lats, 0.90).Nanoseconds())
 		res.Metrics["p99_ns"] = float64(pctile(lats, 0.99).Nanoseconds())
-	}
-	name := "policyd_loadgen_inproc"
-	if version == "remote" {
-		name = "policyd_loadgen_remote"
 	}
 	snap := snapshot{
 		Schema:      "repro-benchsnap/1",
@@ -578,6 +751,13 @@ func pctile(sorted []time.Duration, q float64) time.Duration {
 
 func minInt(a, b int) int {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
 		return a
 	}
 	return b

@@ -162,25 +162,24 @@ func TestDriveBinaryWireMatchesInProcess(t *testing.T) {
 	const n = 400
 
 	inproc := &driver{svc: svc, pool: pool, batch: 8}
-	var inCounts [3]int64
-	if err := inproc.drive(0, n, &inCounts, newReservoir(stats.NewRand(1).Fork("a"))); err != nil {
+	inOut := workerOut{res: newReservoir(stats.NewRand(1).Fork("a"))}
+	if err := inproc.drive(0, 0, n, &inOut); err != nil {
 		t.Fatal(err)
 	}
 
-	binary := &driver{target: ln.Addr().String(), wire: "binary", pool: pool, batch: 8}
-	var binCounts [3]int64
-	res := newReservoir(stats.NewRand(1).Fork("b"))
-	if err := binary.drive(0, n, &binCounts, res); err != nil {
+	binary := &driver{targets: []string{ln.Addr().String()}, wire: "binary", pool: pool, batch: 8}
+	binOut := workerOut{res: newReservoir(stats.NewRand(1).Fork("b"))}
+	if err := binary.drive(0, 0, n, &binOut); err != nil {
 		t.Fatal(err)
 	}
 
-	if inCounts != binCounts {
-		t.Fatalf("decision mix diverged: in-process %v, binary wire %v", inCounts, binCounts)
+	if inOut.counts != binOut.counts {
+		t.Fatalf("decision mix diverged: in-process %v, binary wire %v", inOut.counts, binOut.counts)
 	}
-	if total := binCounts[0] + binCounts[1] + binCounts[2]; total != n {
+	if total := binOut.counts[0] + binOut.counts[1] + binOut.counts[2]; total != n {
 		t.Fatalf("binary wire decided %d of %d queries", total, n)
 	}
-	if res.seen == 0 {
+	if binOut.res.seen == 0 {
 		t.Fatal("no latencies sampled")
 	}
 }

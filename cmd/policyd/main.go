@@ -15,6 +15,12 @@
 // (see internal/policyd/frame.go) for batch clients that want to skip
 // HTTP and JSON entirely; drive it with cmd/loadgen -wire binary.
 //
+// -watch-addr opens a version-watch listener (one version line per
+// snapshot swap); cmd/policygw follows it to coordinate fleet-wide hot
+// reloads. Month advances with -advance recompile incrementally,
+// reusing compiled host policies whose sources are unchanged under the
+// robots parse-cache normalization.
+//
 // -metrics-addr opens an operational side listener serving the obs
 // registry at /metrics (Prometheus text; ?format=json for JSON) and the
 // stdlib profiler under /debug/pprof/ — kept off the service port so
@@ -43,6 +49,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8473", "TCP listen address")
 	frameAddr := flag.String("frame-addr", "", "second TCP listen address for the binary frame protocol (empty = off)")
+	watchAddr := flag.String("watch-addr", "", "TCP listen address announcing snapshot versions to watchers, one line per swap (empty = off)")
 	metricsAddr := flag.String("metrics-addr", "", "side TCP listen address for /metrics and /debug/pprof/ (empty = off)")
 	seed := flag.Int64("seed", stats.DefaultSeed, "corpus seed")
 	scale := flag.Float64("scale", 0.05, "corpus scale (1.0 = 40,455 hosts)")
@@ -51,7 +58,7 @@ func main() {
 	workers := flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*addr, *frameAddr, *metricsAddr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
+	if err := run(*addr, *frameAddr, *watchAddr, *metricsAddr, *seed, *scale, *snapIdx, *advance, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "policyd: %v\n", err)
 		os.Exit(1)
 	}
@@ -70,7 +77,7 @@ func metricsMux() *http.ServeMux {
 	return mux
 }
 
-func run(addr, frameAddr, metricsAddr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
+func run(addr, frameAddr, watchAddr, metricsAddr string, seed int64, scale float64, snapIdx int, advance time.Duration, workers int) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -121,6 +128,20 @@ func run(addr, frameAddr, metricsAddr string, seed int64, scale float64, snapIdx
 		}()
 	}
 
+	var watchLn net.Listener
+	if watchAddr != "" {
+		watchLn, err = net.Listen("tcp", watchAddr)
+		if err != nil {
+			return fmt.Errorf("watch listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "policyd: version watch on %s\n", watchLn.Addr())
+		go func() {
+			if err := policyd.ServeWatch(watchLn, svc); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "policyd: watch serve: %v\n", err)
+			}
+		}()
+	}
+
 	if advance > 0 {
 		go func() {
 			ticker := time.NewTicker(advance)
@@ -135,7 +156,10 @@ func run(addr, frameAddr, metricsAddr string, seed int64, scale float64, snapIdx
 				oldIdx := idx
 				idx = (idx + 1) % len(corpus.Snapshots)
 				compileStart := time.Now()
-				next, err := policyd.FromCorpus(ctx, c, idx, workers)
+				// Month advances recompile incrementally against the
+				// serving snapshot: unchanged hosts (the vast majority
+				// between adjacent months) are reused outright.
+				next, err := policyd.FromCorpusIncremental(ctx, c, idx, workers, svc.Current())
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "policyd: reload: %v\n", err)
 					continue
@@ -145,10 +169,10 @@ func run(addr, frameAddr, metricsAddr string, seed int64, scale float64, snapIdx
 				// One structured line per swap so reload behavior is
 				// greppable and machine-parseable from the daemon log.
 				fmt.Fprintf(os.Stderr,
-					`{"event":"snapshot_swap","old_version":%q,"old_date":%q,"new_version":%q,"new_date":%q,"compile_ms":%.1f,"hosts":%d,"queries_served":%d}`+"\n",
+					`{"event":"snapshot_swap","old_version":%q,"old_date":%q,"new_version":%q,"new_date":%q,"compile_ms":%.1f,"hosts":%d,"hosts_reused":%d,"queries_served":%d}`+"\n",
 					prev.Version, corpus.Snapshots[oldIdx].Date.Format("2006-01-02"),
 					next.Version, corpus.Snapshots[idx].Date.Format("2006-01-02"),
-					float64(compileDur.Microseconds())/1000, next.Len(), svc.Stats().Queries)
+					float64(compileDur.Microseconds())/1000, next.Len(), next.ReusedHosts(), svc.Stats().Queries)
 			}
 		}()
 	}
@@ -162,6 +186,9 @@ func run(addr, frameAddr, metricsAddr string, seed int64, scale float64, snapIdx
 	defer cancel()
 	if frameLn != nil {
 		frameLn.Close()
+	}
+	if watchLn != nil {
+		watchLn.Close()
 	}
 	if metricsSrv != nil {
 		metricsSrv.Shutdown(shutCtx)

@@ -44,7 +44,7 @@ func usage(stderr io.Writer) int {
   rundiff -store DIR gc -keep N
 
 A REF is "latest", a run id, a unique id prefix, or a run directory path.
--fail-on CATS: comma-separated from migrations,months,flips,mix,experiments,any.`)
+-fail-on CATS: comma-separated from migrations,months,flips,mix,quotas,experiments,any.`)
 	return 2
 }
 
@@ -141,7 +141,7 @@ func runDiff(stdout, stderr io.Writer, storeDir string, args []string) int {
 	fs.SetOutput(stderr)
 	format := fs.String("format", runstore.FormatText, "render format: text, markdown, or json")
 	outPath := fs.String("o", "", "write the rendered diff to this file instead of stdout")
-	failOn := fs.String("fail-on", "", "comma-separated semantic categories that exit 1 when non-empty: migrations,months,flips,mix,experiments,any")
+	failOn := fs.String("fail-on", "", "comma-separated semantic categories that exit 1 when non-empty: migrations,months,flips,mix,quotas,experiments,any")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -227,6 +227,9 @@ func gate(d *runstore.Diff, failOn string) ([]string, error) {
 		case "mix":
 			hit = len(d.MixDeltas) > 0
 			desc = fmt.Sprintf("%d decision-mix shifts", len(d.MixDeltas))
+		case "quotas":
+			hit = len(d.QuotaDeltas) > 0
+			desc = fmt.Sprintf("%d tenant quota shifts", len(d.QuotaDeltas))
 		case "experiments":
 			hit = len(d.ExperimentChanges) > 0
 			desc = fmt.Sprintf("%d experiment changes", len(d.ExperimentChanges))

@@ -1,0 +1,694 @@
+package fleet
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/policyd"
+)
+
+// Gateway-wide metric families. Per-replica families register at
+// gateway construction (registration is idempotent, keyed by the full
+// labeled name).
+var (
+	mRateLimitDrops = obs.NewCounter("fleet_ratelimit_drops_total",
+		"Decisions rejected at the gateway by per-tenant token buckets.")
+	mVersionSkew = obs.NewGauge("fleet_version_skew",
+		"Distinct snapshot versions live across replicas minus one; nonzero while a rollover is in flight.")
+	mSwapNotify = obs.NewCounter("fleet_swap_notifications_total",
+		"Fleet-version invalidations published to gateway watch subscribers.")
+	mRepinned = obs.NewCounter("fleet_batch_repinned_total",
+		"Batches retried pinned to one replica after scattered sub-batches answered from different snapshot versions.")
+	mGWWireJSON = obs.NewCounter(`fleet_gateway_requests_total{wire="json"}`,
+		"Gateway-level decision requests, by protocol.")
+	mGWWireFrame = obs.NewCounter(`fleet_gateway_requests_total{wire="frame"}`,
+		"Gateway-level decision requests, by protocol.")
+)
+
+// ReplicaConfig locates one policyd replica on whatever transport the
+// gateway's HTTPClient/Dial reach.
+type ReplicaConfig struct {
+	// Name identifies the replica on the hash ring and in metrics; it
+	// must be unique and stable (a membership change moves only the
+	// changed name's keys).
+	Name string
+	// BaseURL is the replica's JSON API root ("http://10.0.0.11:80").
+	BaseURL string
+	// FrameAddr is the replica's binary-frame listener ("10.0.0.11:81").
+	FrameAddr string
+	// WatchAddr is the replica's version watch listener; "" disables
+	// watching (versions are then learned from decide responses only).
+	WatchAddr string
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	Replicas []ReplicaConfig
+	// VNodes per replica on the ring; <= 0 means DefaultVNodes.
+	VNodes int
+	// Rate/Burst configure per-tenant token buckets (tokens/sec and
+	// bucket depth). Rate 0 disables limiting; Burst 0 defaults to
+	// max(Rate, 2×policyd.MaxBatch) so a full batch always fits.
+	Rate, Burst float64
+	// Now is the limiter clock; nil means time.Now.
+	Now func() time.Time
+	// HTTPClient reaches replica BaseURLs (unused by the frame-routed
+	// decision path, available for health probes; netsim or real TCP).
+	HTTPClient *http.Client
+	// Dial reaches replica FrameAddr/WatchAddr values.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Gateway routes decision traffic across policyd replicas: host-keyed
+// consistent hashing for cache locality, one snapshot version per
+// client batch (scatter with repin-on-skew), per-tenant rate limiting
+// at admission, and a version feed that tells connected clients when
+// the whole fleet has rolled to a new snapshot.
+type Gateway struct {
+	cfg      Config
+	ring     *Ring
+	replicas []*replica
+	limiter  *Limiter
+	feed     *policyd.VersionFeed
+
+	vmu          sync.Mutex
+	fleetVersion string
+
+	batches atomic.Uint64
+	states  sync.Pool
+}
+
+// replica is one fleet member's runtime state.
+type replica struct {
+	cfg      ReplicaConfig
+	idx      int
+	gw       *Gateway
+	pool     chan *policyd.FrameClientV2
+	version  sync.Mutex // guards ver
+	ver      string
+	mRoute   *obs.Counter
+	mLatency *obs.Histogram
+}
+
+// NewGateway validates cfg and builds the gateway. Call Start to begin
+// watching replica versions, then serve with Handler, ServeFrames, and
+// ServeWatch.
+func NewGateway(cfg Config) (*Gateway, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("fleet: Config.Dial is required")
+	}
+	names := make([]string, len(cfg.Replicas))
+	seen := make(map[string]bool, len(cfg.Replicas))
+	for i, rc := range cfg.Replicas {
+		if rc.Name == "" || seen[rc.Name] {
+			return nil, fmt.Errorf("fleet: replica %d needs a unique name (got %q)", i, rc.Name)
+		}
+		seen[rc.Name] = true
+		names[i] = rc.Name
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.Rate
+		if m := float64(2 * policyd.MaxBatch); cfg.Burst < m {
+			cfg.Burst = m
+		}
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		ring:    NewRing(names, cfg.VNodes),
+		limiter: NewLimiter(cfg.Rate, cfg.Burst, cfg.Now),
+		feed:    policyd.NewVersionFeed(""),
+	}
+	for i, rc := range cfg.Replicas {
+		g.replicas = append(g.replicas, &replica{
+			cfg:  rc,
+			idx:  i,
+			gw:   g,
+			pool: make(chan *policyd.FrameClientV2, 16),
+			mRoute: obs.NewCounter(fmt.Sprintf(`fleet_route_total{replica=%q}`, rc.Name),
+				"Decisions routed to each replica."),
+			mLatency: obs.NewHistogram(fmt.Sprintf(`fleet_replica_latency_ns{replica=%q}`, rc.Name),
+				"Round-trip latency of one routed sub-batch per replica, ns."),
+		})
+	}
+	return g, nil
+}
+
+// Start launches the per-replica watch loops; they reconnect with
+// backoff until ctx is done. Without Start the gateway still works —
+// versions are learned from decide responses — but swap invalidations
+// reach clients only after the next routed batch.
+func (g *Gateway) Start(ctx context.Context) {
+	for _, r := range g.replicas {
+		if r.cfg.WatchAddr != "" {
+			go r.watchLoop(ctx)
+		}
+	}
+}
+
+// Watch subscribes to fleet-version announcements (published when every
+// replica reports the same version and it changed).
+func (g *Gateway) Watch() (<-chan string, func()) { return g.feed.Watch() }
+
+// FleetVersion returns the last version the whole fleet agreed on, ""
+// before the first agreement is observed.
+func (g *Gateway) FleetVersion() string { return g.feed.Current() }
+
+// Limiter exposes the gateway's quota ledger.
+func (g *Gateway) Limiter() *Limiter { return g.limiter }
+
+// ServeWatch serves fleet-version invalidations on ln with the policyd
+// watch line protocol.
+func (g *Gateway) ServeWatch(ln net.Listener) error { return g.feed.Serve(ln) }
+
+// Close drains and closes all pooled replica connections.
+func (g *Gateway) Close() {
+	for _, r := range g.replicas {
+		for {
+			select {
+			case fc := <-r.pool:
+				fc.Close()
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+func (r *replica) watchLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		c, err := r.gw.cfg.Dial(ctx, r.cfg.WatchAddr)
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.Close()
+			case <-done:
+			}
+		}()
+		_ = policyd.WatchVersions(c, func(v string) bool {
+			r.noteVersion(v)
+			return true
+		})
+		close(done)
+		c.Close()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// noteVersion records a replica's observed snapshot version (from its
+// watch channel or a decide response) and recomputes the fleet view.
+func (r *replica) noteVersion(v string) {
+	if v == "" {
+		return
+	}
+	r.version.Lock()
+	changed := r.ver != v
+	r.ver = v
+	r.version.Unlock()
+	if changed {
+		r.gw.recomputeVersions()
+	}
+}
+
+func (r *replica) currentVersion() string {
+	r.version.Lock()
+	defer r.version.Unlock()
+	return r.ver
+}
+
+// recomputeVersions refreshes the skew gauge and publishes a new fleet
+// version when all replicas agree on one.
+func (g *Gateway) recomputeVersions() {
+	g.vmu.Lock()
+	defer g.vmu.Unlock()
+	// Fleets are small: collect distinct versions into a stack slice.
+	var seen [8]string
+	distinct, unknown := 0, 0
+	for _, r := range g.replicas {
+		v := r.currentVersion()
+		if v == "" {
+			unknown++
+			continue
+		}
+		dup := false
+		for i := 0; i < distinct && i < len(seen); i++ {
+			if seen[i] == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if distinct < len(seen) {
+				seen[distinct] = v
+			}
+			distinct++
+		}
+	}
+	skew := 0
+	if distinct > 1 {
+		skew = distinct - 1
+	}
+	mVersionSkew.Set(float64(skew))
+	if distinct == 1 && unknown == 0 && seen[0] != g.fleetVersion {
+		g.fleetVersion = seen[0]
+		g.feed.Publish(seen[0])
+		mSwapNotify.Inc()
+	}
+}
+
+// get returns a pooled or fresh frame connection to the replica.
+func (r *replica) get(ctx context.Context) (*policyd.FrameClientV2, error) {
+	select {
+	case fc := <-r.pool:
+		return fc, nil
+	default:
+	}
+	c, err := r.gw.cfg.Dial(ctx, r.cfg.FrameAddr)
+	if err != nil {
+		return nil, err
+	}
+	return policyd.NewFrameClientV2(c)
+}
+
+func (r *replica) put(fc *policyd.FrameClientV2) {
+	select {
+	case r.pool <- fc:
+	default:
+		fc.Close()
+	}
+}
+
+// decideOn answers qs on one replica, appending to out. A transport
+// error retries once on a fresh connection (the pooled conn may have
+// died idle); the replica's observed version updates from the response.
+func (g *Gateway) decideOn(ctx context.Context, r *replica, qs []policyd.Query, out []policyd.Decision) ([]policyd.Decision, string, error) {
+	base := len(out)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		fc, err := r.get(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		start := time.Now()
+		ds, version, err := fc.Decide(qs, out[:base])
+		if err != nil {
+			fc.Close()
+			lastErr = err
+			continue
+		}
+		r.mLatency.Observe(uint64(time.Since(start)))
+		r.put(fc)
+		r.mRoute.Add(uint64(len(qs)))
+		r.noteVersion(version)
+		return ds, version, nil
+	}
+	return out[:base], "", fmt.Errorf("fleet: replica %s: %w", r.cfg.Name, lastErr)
+}
+
+// connState is the per-connection (or pooled per-request) routing
+// scratch, so the frame hot path stays allocation-steady.
+type connState struct {
+	assign []int32
+	subQ   []policyd.Query
+	subD   []policyd.Decision
+	order  []int32
+	groups []TenantCount
+}
+
+func (g *Gateway) getState() *connState {
+	if st, ok := g.states.Get().(*connState); ok && st != nil {
+		return st
+	}
+	return &connState{}
+}
+
+func (g *Gateway) putState(st *connState) { g.states.Put(st) }
+
+// admit groups the batch by tenant (query agent) and charges the
+// limiter all-or-nothing. Small batches have few distinct agents, so
+// grouping is a linear scan over a reused slice.
+func (g *Gateway) admit(qs []policyd.Query, st *connState) (time.Duration, bool) {
+	st.groups = st.groups[:0]
+outer:
+	for i := range qs {
+		for j := range st.groups {
+			if st.groups[j].Tenant == qs[i].Agent {
+				st.groups[j].N++
+				continue outer
+			}
+		}
+		st.groups = append(st.groups, TenantCount{Tenant: qs[i].Agent, N: 1})
+	}
+	wait, ok := g.limiter.Admit(st.groups)
+	if !ok {
+		mRateLimitDrops.Add(uint64(len(qs)))
+	}
+	return wait, ok
+}
+
+// routeBatch answers qs through the fleet, appending to out in query
+// order, and returns the single snapshot version that served the whole
+// batch. Batches whose hosts all hash to one replica go direct; others
+// scatter, and if the sub-batches come back from different versions
+// (a rollover in flight) the whole batch retries pinned to one replica,
+// whose single DecideBatch guarantees one consistent snapshot.
+func (g *Gateway) routeBatch(ctx context.Context, qs []policyd.Query, out []policyd.Decision, st *connState) ([]policyd.Decision, string, error) {
+	g.batches.Add(1)
+	base := len(out)
+	if len(qs) == 0 {
+		return out, g.FleetVersion(), nil
+	}
+	st.assign = st.assign[:0]
+	first := int32(g.ring.Pick(qs[0].Host))
+	single := true
+	st.assign = append(st.assign, first)
+	for i := 1; i < len(qs); i++ {
+		ri := int32(g.ring.Pick(qs[i].Host))
+		if ri != first {
+			single = false
+		}
+		st.assign = append(st.assign, ri)
+	}
+	if single {
+		return g.decideOn(ctx, g.replicas[first], qs, out)
+	}
+
+	// Scatter: route each replica's sub-batch, writing decisions back
+	// into their original positions.
+	for range qs {
+		out = append(out, policyd.Decision{})
+	}
+	version := ""
+	mismatch := false
+	var newest *replica
+	for ri := range g.replicas {
+		st.subQ = st.subQ[:0]
+		st.order = st.order[:0]
+		for i := range qs {
+			if int(st.assign[i]) == ri {
+				st.subQ = append(st.subQ, qs[i])
+				st.order = append(st.order, int32(i))
+			}
+		}
+		if len(st.subQ) == 0 {
+			continue
+		}
+		subD, v, err := g.decideOn(ctx, g.replicas[ri], st.subQ, st.subD[:0])
+		st.subD = subD[:0]
+		if err != nil {
+			return out[:base], "", err
+		}
+		if version == "" {
+			version = v
+			newest = g.replicas[ri]
+		} else if v != version {
+			mismatch = true
+			if v > version {
+				version = v
+				newest = g.replicas[ri]
+			}
+		}
+		for j, pos := range st.order {
+			out[base+int(pos)] = subD[j]
+		}
+	}
+	if !mismatch {
+		return out, version, nil
+	}
+	// A rollover is mid-flight: re-answer the whole batch on the replica
+	// already serving the newest version, so the client sees exactly one
+	// snapshot. Corpus versions ("YYYY-WW") order lexically.
+	mRepinned.Inc()
+	return g.decideOn(ctx, newest, qs, out[:base])
+}
+
+// Decide answers one query through the fleet (rate limiting applied by
+// the serving wrappers, not here).
+func (g *Gateway) decide(ctx context.Context, q policyd.Query, st *connState) (policyd.Decision, string, error) {
+	g.batches.Add(1)
+	ri := g.ring.Pick(q.Host)
+	st.subQ = append(st.subQ[:0], q)
+	ds, version, err := g.decideOn(ctx, g.replicas[ri], st.subQ, st.subD[:0])
+	st.subD = ds[:0]
+	if err != nil {
+		return policyd.Decision{}, "", err
+	}
+	return ds[0], version, nil
+}
+
+// ReplicaStatus is one replica's row in gateway stats.
+type ReplicaStatus struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Routed  uint64 `json:"routed"`
+}
+
+// GatewayStats is the /v1/stats response body.
+type GatewayStats struct {
+	// Version is the last fleet-agreed snapshot version ("" during a
+	// rollover that has not yet converged, or before first contact).
+	Version string `json:"version"`
+	// Skew is the current distinct-version count minus one.
+	Skew int `json:"skew"`
+	// Batches counts routed client batches (a single decide counts 1).
+	Batches  uint64          `json:"batches"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// Stats returns the gateway's current fleet view.
+func (g *Gateway) Stats() GatewayStats {
+	st := GatewayStats{Version: g.FleetVersion(), Batches: g.batches.Load()}
+	versions := map[string]bool{}
+	for _, r := range g.replicas {
+		v := r.currentVersion()
+		if v != "" {
+			versions[v] = true
+		}
+		st.Replicas = append(st.Replicas, ReplicaStatus{Name: r.cfg.Name, Version: v, Routed: r.mRoute.Value()})
+	}
+	if len(versions) > 1 {
+		st.Skew = len(versions) - 1
+	}
+	return st
+}
+
+// Handler returns the gateway's JSON API: the replica API plus quota
+// introspection. Decision bodies are byte-identical to a replica's —
+// the gateway adds only the X-Policyd-Version header (the serving
+// snapshot) so routed responses stay parity-comparable.
+//
+//	GET  /v1/decide?host=H&agent=U&path=P  (429 + Retry-After on quota)
+//	POST /v1/batch                         (one snapshot version per batch)
+//	GET  /v1/stats                         (fleet view)
+//	GET  /v1/quotas                        (per-tenant ledger)
+//	GET  /healthz
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decide", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := policyd.Query{
+			Host:  r.URL.Query().Get("host"),
+			Agent: r.URL.Query().Get("agent"),
+			Path:  r.URL.Query().Get("path"),
+		}
+		if q.Host == "" || q.Agent == "" {
+			http.Error(w, "host and agent are required", http.StatusBadRequest)
+			return
+		}
+		mGWWireJSON.Inc()
+		st := g.getState()
+		defer g.putState(st)
+		st.subQ = append(st.subQ[:0], q)
+		if wait, ok := g.admit(st.subQ, st); !ok {
+			writeRateLimited(w, wait)
+			return
+		}
+		d, version, err := g.decide(r.Context(), q, st)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("X-Policyd-Version", version)
+		if body, ok := policyd.DecisionBody(d); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		writeJSON(w, d.JSON())
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req policyd.BatchRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(req.Queries) > policyd.MaxBatch {
+			http.Error(w, fmt.Sprintf("batch exceeds %d queries", policyd.MaxBatch), http.StatusRequestEntityTooLarge)
+			return
+		}
+		mGWWireJSON.Inc()
+		st := g.getState()
+		defer g.putState(st)
+		if wait, ok := g.admit(req.Queries, st); !ok {
+			writeRateLimited(w, wait)
+			return
+		}
+		ds, version, err := g.routeBatch(r.Context(), req.Queries, nil, st)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		resp := policyd.BatchResponse{Decisions: make([]policyd.DecisionJSON, len(ds))}
+		for i, d := range ds {
+			resp.Decisions[i] = d.JSON()
+		}
+		w.Header().Set("X-Policyd-Version", version)
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Stats())
+	})
+	mux.HandleFunc("/v1/quotas", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.limiter.Accounting())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeRateLimited answers 429 with both the spec's integer-second
+// Retry-After and an exact millisecond variant (token buckets at
+// realistic rates refill in well under a second).
+func writeRateLimited(w http.ResponseWriter, wait time.Duration) {
+	secs := int(wait / time.Second)
+	if wait%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(wait.Milliseconds(), 10))
+	http.Error(w, "rate limited", http.StatusTooManyRequests)
+}
+
+// ServeFrames accepts binary-frame connections on ln and answers them
+// through the fleet until the listener closes. Both dialects are
+// accepted: RPB2 clients get versioned responses and in-band
+// rate-limit frames; RPB1 clients get legacy responses, and a quota
+// rejection closes their connection (v1 has no error channel).
+func (g *Gateway) ServeFrames(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go g.serveFrameConn(c)
+	}
+}
+
+func (g *Gateway) serveFrameConn(c net.Conn) {
+	defer c.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(c, magic[:]); err != nil {
+		return
+	}
+	v2 := magic == policyd.FrameMagicV2
+	if !v2 && magic != policyd.FrameMagic {
+		return
+	}
+	ctx := context.Background()
+	st := g.getState()
+	defer g.putState(st)
+	var lenBuf [4]byte
+	payload := make([]byte, 0, 64*1024)
+	wbuf := make([]byte, 0, 16*1024)
+	var qs []policyd.Query
+	var out []policyd.Decision
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 4<<20 {
+			return
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		var err error
+		qs, err = policyd.DecodeQueryPayload(payload, qs[:0])
+		if err != nil {
+			return
+		}
+		mGWWireFrame.Inc()
+		if wait, ok := g.admit(qs, st); !ok {
+			if !v2 {
+				return
+			}
+			wbuf = policyd.AppendRateLimitFrame(wbuf[:0], wait)
+			if _, err := c.Write(wbuf); err != nil {
+				return
+			}
+			continue
+		}
+		var version string
+		out, version, err = g.routeBatch(ctx, qs, out[:0], st)
+		if err != nil {
+			return
+		}
+		if v2 {
+			wbuf = policyd.AppendDecisionFrameV2(wbuf[:0], out, version)
+		} else {
+			wbuf = policyd.AppendDecisionFrame(wbuf[:0], out)
+		}
+		if _, err := c.Write(wbuf); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/policyd"
+	"repro/internal/stats"
+)
+
+// fakeClock is a manually-advanced limiter clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestLimiterBucketSemantics pins the token-bucket contract: burst
+// admits immediately, exhaustion rejects with a usable Retry-After,
+// waiting exactly that long re-admits, and rejections charge nothing.
+func TestLimiterBucketSemantics(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(100, 50, clk.now) // 100 tokens/sec, burst 50
+
+	if wait, ok := l.Admit([]TenantCount{{"GPTBot", 50}}); !ok || wait != 0 {
+		t.Fatalf("burst-sized batch rejected (wait %s)", wait)
+	}
+	wait, ok := l.Admit([]TenantCount{{"GPTBot", 10}})
+	if ok {
+		t.Fatal("empty bucket admitted a batch")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("Retry-After %s, want (0, 1s] for a 10-token deficit at 100/s", wait)
+	}
+	// The rejection must not have consumed tokens: after exactly the
+	// advertised wait, the same batch fits.
+	clk.advance(wait)
+	if _, ok := l.Admit([]TenantCount{{"GPTBot", 10}}); !ok {
+		t.Fatal("batch still rejected after waiting the advertised Retry-After")
+	}
+
+	// Tenants are isolated: GPTBot's exhaustion never throttles CCBot.
+	if _, ok := l.Admit([]TenantCount{{"CCBot", 50}}); !ok {
+		t.Fatal("fresh tenant rejected while another tenant is exhausted")
+	}
+
+	// All-or-nothing: a batch mixing a fitting and a non-fitting tenant
+	// is rejected whole, charging neither.
+	clk.advance(time.Second) // both buckets full (50)
+	if _, ok := l.Admit([]TenantCount{{"GPTBot", 10}, {"CCBot", 60}}); ok {
+		t.Fatal("batch with an over-burst tenant group admitted")
+	}
+	if _, ok := l.Admit([]TenantCount{{"GPTBot", 50}}); !ok {
+		t.Fatal("rejected batch consumed GPTBot tokens")
+	}
+
+	acc := l.Accounting()
+	if len(acc.Tenants) != 2 {
+		t.Fatalf("accounting has %d tenants, want 2", len(acc.Tenants))
+	}
+	// CCBot: granted 50, throttled 60; GPTBot: granted 50+10+50, throttled 10+10.
+	want := []TenantQuota{
+		{Tenant: "CCBot", Granted: 50, Throttled: 60},
+		{Tenant: "GPTBot", Granted: 110, Throttled: 20},
+	}
+	for i, w := range want {
+		if acc.Tenants[i] != w {
+			t.Errorf("accounting[%d] = %+v, want %+v", i, acc.Tenants[i], w)
+		}
+	}
+}
+
+// TestLimiterDisabled: rate 0 admits everything but still accounts.
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 0, newFakeClock().now)
+	for i := 0; i < 100; i++ {
+		if _, ok := l.Admit([]TenantCount{{"GPTBot", 4096}}); !ok {
+			t.Fatal("disabled limiter rejected a batch")
+		}
+	}
+	acc := l.Accounting()
+	if acc.Tenants[0].Granted != 409600 || acc.Tenants[0].Throttled != 0 {
+		t.Fatalf("accounting %+v", acc.Tenants[0])
+	}
+}
+
+// TestLimiterDeterminism drives the limiter with a workload drawn from
+// a fixed stats.Rand — random tenants, batch sizes, and clock steps —
+// and requires the full admit/reject sequence and final ledger to be
+// bit-identical across runs. The gateway's quota segment in the run
+// store depends on this: same (spec, seed) → same quotas.json.
+func TestLimiterDeterminism(t *testing.T) {
+	run := func() (string, Accounting) {
+		clk := newFakeClock()
+		l := NewLimiter(500, 1000, clk.now)
+		rn := stats.NewRand(42).Fork("limiter")
+		tenants := []string{"GPTBot", "CCBot", "Google-Extended", "Bytespider"}
+		trace := ""
+		for i := 0; i < 2000; i++ {
+			g := []TenantCount{{
+				Tenant: tenants[rn.Intn(len(tenants))],
+				N:      1 + rn.Intn(64),
+			}}
+			if rn.Bool(0.3) {
+				g = append(g, TenantCount{Tenant: tenants[rn.Intn(len(tenants))], N: 1 + rn.Intn(64)})
+			}
+			wait, ok := l.Admit(g)
+			trace += fmt.Sprintf("%d:%v:%d;", i, ok, wait.Microseconds())
+			clk.advance(time.Duration(rn.Intn(10)) * time.Millisecond)
+		}
+		return trace, l.Accounting()
+	}
+	t1, a1 := run()
+	t2, a2 := run()
+	if t1 != t2 {
+		t.Fatal("admit/reject trace differs across identical runs")
+	}
+	if fmt.Sprintf("%+v", a1) != fmt.Sprintf("%+v", a2) {
+		t.Fatalf("accounting differs:\n%+v\n%+v", a1, a2)
+	}
+	// The workload must actually have exercised both outcomes.
+	throttledTotal := uint64(0)
+	for _, tq := range a1.Tenants {
+		throttledTotal += tq.Throttled
+	}
+	if throttledTotal == 0 {
+		t.Fatal("workload never throttled — determinism proved nothing")
+	}
+}
+
+// TestLimiterOwnsTenantKeys reproduces the frame-wire aliasing hazard:
+// policyd.DecodeQueryPayload returns zero-copy strings into the
+// connection's payload buffer, which the gateway reuses for the next
+// frame. A limiter that keys its ledger on the aliased string would see
+// its map keys mutate under it (garbled tenant names, duplicate
+// entries); the ledger must own its key bytes.
+func TestLimiterOwnsTenantKeys(t *testing.T) {
+	l := NewLimiter(0, 0, nil)
+
+	frame, err := policyd.AppendQueryFrame(nil, []policyd.Query{
+		{Host: "a.test", Agent: "GPTBot", Path: "/"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:] // skip the length prefix, as the serve loop does
+	qs, err := policyd.DecodeQueryPayload(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Admit([]TenantCount{{Tenant: qs[0].Agent, N: 3}}); !ok {
+		t.Fatal("accounting-only limiter rejected")
+	}
+
+	// Overwrite the buffer in place, as reading the next frame into the
+	// same backing array does.
+	for i := range payload {
+		payload[i] = 'x'
+	}
+
+	acc := l.Accounting()
+	if len(acc.Tenants) != 1 || acc.Tenants[0].Tenant != "GPTBot" {
+		t.Fatalf("ledger lost tenant identity after buffer reuse: %+v", acc.Tenants)
+	}
+	if acc.Tenants[0].Granted != 3 {
+		t.Fatalf("granted = %d, want 3", acc.Tenants[0].Granted)
+	}
+
+	// A fresh admission for the same tenant name must land in the same
+	// bucket, not a mutated duplicate.
+	if _, ok := l.Admit([]TenantCount{{Tenant: "GPTBot", N: 2}}); !ok {
+		t.Fatal("second admit rejected")
+	}
+	acc = l.Accounting()
+	if len(acc.Tenants) != 1 || acc.Tenants[0].Granted != 5 {
+		t.Fatalf("duplicate bucket after buffer reuse: %+v", acc.Tenants)
+	}
+}

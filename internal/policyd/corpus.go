@@ -39,6 +39,17 @@ const (
 // announced by the snapshot date), so swapping between FromCorpus
 // snapshots is exactly a policy-push hot reload.
 func FromCorpus(ctx context.Context, c *corpus.Corpus, snap, workers int) (*Snapshot, error) {
+	return FromCorpusIncremental(ctx, c, snap, workers, nil)
+}
+
+// FromCorpusIncremental is FromCorpus reusing prev (a snapshot built from
+// the same corpus at another index) for hosts whose policy surface is
+// unchanged: most sites' robots.txt differs between adjacent months only
+// in per-site comment/Sitemap lines, which the normalized parse-cache
+// key already proves semantics-preserving, so a month-advance reload
+// recompiles only the hosts whose rules actually moved. prev may be nil
+// (full build). The result is decision-identical to a full build.
+func FromCorpusIncremental(ctx context.Context, c *corpus.Corpus, snap, workers int, prev *Snapshot) (*Snapshot, error) {
 	if obs.Enabled() {
 		defer mCompileNS.ObserveSince(time.Now())
 	}
@@ -62,7 +73,7 @@ func FromCorpus(ctx context.Context, c *corpus.Corpus, snap, workers int) (*Snap
 	}
 
 	sites := c.Sites()
-	b := &Builder{}
+	b := &Builder{Prev: prev}
 	// Per-site forks derive sequentially from one policyd stream (Fork
 	// consumes parent state); the draws below are per-site and ordered,
 	// so enrichment is bit-identical at any worker count and independent

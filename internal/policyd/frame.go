@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 	"unsafe"
 )
 
@@ -33,6 +34,37 @@ import (
 // FrameMagic is the 4-byte connection preamble; the trailing byte is the
 // protocol version.
 var FrameMagic = [4]byte{'R', 'P', 'B', '1'}
+
+// FrameMagicV2 selects protocol version 2: request frames are identical,
+// but every response payload starts with a status byte, so the wire
+// carries the serving snapshot's version (status 0) and an in-band
+// rate-limit signal with Retry-After (status 1) — what a fleet gateway
+// needs that a single replica never did:
+//
+//	v2 response payload, status 0 (decisions):
+//	  u8 0, u16 version len + bytes, u32 count, per decision 2 bytes
+//	v2 response payload, status 1 (rate-limited):
+//	  u8 1, u32 retry-after in milliseconds
+//
+// ServeFrames answers each connection in the dialect its preamble chose.
+var FrameMagicV2 = [4]byte{'R', 'P', 'B', '2'}
+
+// v2 response status bytes.
+const (
+	frameStatusOK        = 0
+	frameStatusRateLimit = 1
+)
+
+// RateLimitError reports a request rejected by a quota, carrying the
+// server's earliest useful retry time. Both wires surface it: HTTP as
+// 429 + Retry-After, frames as a status-1 response.
+type RateLimitError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("policyd: rate limited, retry after %s", e.RetryAfter)
+}
 
 // maxFramePayload bounds one frame's payload, mirroring the JSON API's
 // body cap.
@@ -176,10 +208,74 @@ func DecodeDecisionPayload(payload []byte, ds []Decision) ([]Decision, error) {
 	return ds, nil
 }
 
+// AppendDecisionFrameV2 appends one complete v2 OK response frame for ds
+// to dst, naming the snapshot version that produced the decisions.
+func AppendDecisionFrameV2(dst []byte, ds []Decision, version string) []byte {
+	if len(version) > 0xFFFF {
+		version = version[:0xFFFF]
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+2+len(version)+4+2*len(ds)))
+	dst = append(dst, frameStatusOK)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(version)))
+	dst = append(dst, version...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ds)))
+	for _, d := range ds {
+		dst = append(dst, byte(d.Action), byte(d.Signal))
+	}
+	return dst
+}
+
+// AppendRateLimitFrame appends one complete v2 rate-limited response
+// frame to dst. retryAfter is carried in milliseconds, clamped to u32.
+func AppendRateLimitFrame(dst []byte, retryAfter time.Duration) []byte {
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 0xFFFFFFFF {
+		ms = 0xFFFFFFFF
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, 1+4)
+	dst = append(dst, frameStatusRateLimit)
+	return binary.LittleEndian.AppendUint32(dst, uint32(ms))
+}
+
+// DecodeResponsePayloadV2 decodes a v2 response payload. An OK status
+// appends the decisions to ds and returns the serving snapshot version;
+// a rate-limited status returns a *RateLimitError carrying Retry-After.
+func DecodeResponsePayloadV2(payload []byte, ds []Decision) ([]Decision, string, error) {
+	if len(payload) < 1 {
+		return ds, "", ErrFrameTruncated
+	}
+	switch payload[0] {
+	case frameStatusRateLimit:
+		if len(payload) != 5 {
+			return ds, "", fmt.Errorf("%w: rate-limit frame of %d bytes", ErrFrameGarbled, len(payload))
+		}
+		ms := binary.LittleEndian.Uint32(payload[1:])
+		return ds, "", &RateLimitError{RetryAfter: time.Duration(ms) * time.Millisecond}
+	case frameStatusOK:
+		if len(payload) < 3 {
+			return ds, "", ErrFrameTruncated
+		}
+		vn := int(binary.LittleEndian.Uint16(payload[1:]))
+		if 3+vn > len(payload) {
+			return ds, "", ErrFrameTruncated
+		}
+		version := string(payload[3 : 3+vn])
+		ds, err := DecodeDecisionPayload(payload[3+vn:], ds)
+		return ds, version, err
+	default:
+		return ds, "", fmt.Errorf("%w: response status %d", ErrFrameGarbled, payload[0])
+	}
+}
+
 // ServeFrames accepts connections from ln and answers frame batches from
 // svc until the listener closes; it returns the Accept error (net.ErrClosed
 // on a clean shutdown). Each connection gets its own goroutine and reused
-// buffers; a protocol violation closes that connection only.
+// buffers, and speaks the protocol version its preamble selected (RPB1
+// legacy responses, RPB2 versioned responses); a protocol violation
+// closes that connection only.
 func ServeFrames(ln net.Listener, svc *Service) error {
 	for {
 		c, err := ln.Accept()
@@ -193,7 +289,11 @@ func ServeFrames(ln net.Listener, svc *Service) error {
 func serveFrameConn(c net.Conn, svc *Service) {
 	defer c.Close()
 	var magic [4]byte
-	if _, err := io.ReadFull(c, magic[:]); err != nil || magic != FrameMagic {
+	if _, err := io.ReadFull(c, magic[:]); err != nil {
+		return
+	}
+	v2 := magic == FrameMagicV2
+	if !v2 && magic != FrameMagic {
 		return
 	}
 	var lenBuf [4]byte
@@ -222,8 +322,14 @@ func serveFrameConn(c net.Conn, svc *Service) {
 			return
 		}
 		mWireFrame.Inc()
-		out = svc.DecideBatch(qs, out[:0])
-		wbuf = AppendDecisionFrame(wbuf[:0], out)
+		if v2 {
+			var version string
+			out, version = svc.DecideBatchVersioned(qs, out[:0])
+			wbuf = AppendDecisionFrameV2(wbuf[:0], out, version)
+		} else {
+			out = svc.DecideBatch(qs, out[:0])
+			wbuf = AppendDecisionFrame(wbuf[:0], out)
+		}
 		if _, err := c.Write(wbuf); err != nil {
 			return
 		}
@@ -288,3 +394,72 @@ func (fc *FrameClient) Decide(qs []Query, out []Decision) ([]Decision, error) {
 
 // Close closes the underlying connection.
 func (fc *FrameClient) Close() error { return fc.c.Close() }
+
+// FrameClientV2 speaks protocol version 2 over one connection: same
+// batch semantics as FrameClient, but every answer names the snapshot
+// version that produced it, and a server-side quota rejection surfaces
+// as *RateLimitError instead of a dead connection. Not safe for
+// concurrent use; open one per worker.
+type FrameClientV2 struct {
+	c       net.Conn
+	lenBuf  [4]byte
+	wbuf    []byte
+	rbuf    []byte
+	version string // last serving version, interned across responses
+}
+
+// NewFrameClientV2 sends the v2 preamble on c and returns a client.
+func NewFrameClientV2(c net.Conn) (*FrameClientV2, error) {
+	if _, err := c.Write(FrameMagicV2[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("policyd: frame preamble: %w", err)
+	}
+	return &FrameClientV2{c: c, wbuf: make([]byte, 0, 16*1024), rbuf: make([]byte, 0, 16*1024)}, nil
+}
+
+// Decide answers one batch, appending the decisions to out and returning
+// the snapshot version that served the whole batch. A *RateLimitError
+// return leaves the connection usable — retry after the carried delay;
+// any other error poisons the framing and the client must be closed.
+func (fc *FrameClientV2) Decide(qs []Query, out []Decision) ([]Decision, string, error) {
+	var err error
+	fc.wbuf, err = AppendQueryFrame(fc.wbuf[:0], qs)
+	if err != nil {
+		return out, "", err
+	}
+	if _, err := fc.c.Write(fc.wbuf); err != nil {
+		return out, "", err
+	}
+	if _, err := io.ReadFull(fc.c, fc.lenBuf[:]); err != nil {
+		return out, "", err
+	}
+	n := binary.LittleEndian.Uint32(fc.lenBuf[:])
+	if n > maxFramePayload {
+		return out, "", ErrFrameOversized
+	}
+	if cap(fc.rbuf) < int(n) {
+		fc.rbuf = make([]byte, n)
+	}
+	fc.rbuf = fc.rbuf[:n]
+	if _, err := io.ReadFull(fc.c, fc.rbuf); err != nil {
+		return out, "", err
+	}
+	start := len(out)
+	var version string
+	out, version, err = DecodeResponsePayloadV2(fc.rbuf, out)
+	if err != nil {
+		return out, "", err
+	}
+	if len(out)-start != len(qs) {
+		return out, "", fmt.Errorf("%w: %d decisions for %d queries", ErrFrameGarbled, len(out)-start, len(qs))
+	}
+	// Intern the version: it is stable for swap-long stretches, so reuse
+	// the previous string instead of keeping one allocation per batch.
+	if version != fc.version {
+		fc.version = version
+	}
+	return out, fc.version, nil
+}
+
+// Close closes the underlying connection.
+func (fc *FrameClientV2) Close() error { return fc.c.Close() }

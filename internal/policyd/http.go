@@ -118,6 +118,17 @@ var decideResponses = func() (t [Block + 1][SignalMeta + 1][]byte) {
 	return t
 }()
 
+// DecisionBody returns the pre-rendered /v1/decide response body for d
+// (trailing newline included), or ok=false for out-of-range pairs. The
+// fleet gateway renders with the same bytes so gateway-routed responses
+// are byte-identical to a replica's.
+func DecisionBody(d Decision) ([]byte, bool) {
+	if d.Action <= Block && d.Signal <= SignalMeta {
+		return decideResponses[d.Action][d.Signal], true
+	}
+	return nil, false
+}
+
 // writeDecision writes a single decision, pre-rendered when the pair is
 // in range (always, for decisions the service produces).
 func writeDecision(w http.ResponseWriter, d Decision) {

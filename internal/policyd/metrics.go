@@ -32,6 +32,10 @@ var (
 		"Wire-level decision requests, by protocol (one frame batch or one HTTP request each).")
 	mWireFrame = obs.NewCounter(`policyd_wire_requests_total{wire="frame"}`,
 		"Wire-level decision requests, by protocol (one frame batch or one HTTP request each).")
+	mCompileReused = obs.NewCounter(`policyd_compile_hosts_total{mode="reused"}`,
+		"Hosts whose compiled policy was carried over from the previous snapshot (incremental build).")
+	mCompileFresh = obs.NewCounter(`policyd_compile_hosts_total{mode="compiled"}`,
+		"Hosts compiled from their raw policy surface during a snapshot build.")
 )
 
 // countDecision records one decision in the action×signal matrix.

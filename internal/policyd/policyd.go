@@ -132,11 +132,12 @@ func (d Decision) Allowed() bool { return d.Action == Allow }
 type Service struct {
 	snap    atomic.Pointer[Snapshot]
 	queries atomic.Uint64
+	feed    *VersionFeed
 }
 
 // NewService returns a service answering from snap.
 func NewService(snap *Snapshot) *Service {
-	s := &Service{}
+	s := &Service{feed: NewVersionFeed(snap.Version)}
 	s.snap.Store(snap)
 	return s
 }
@@ -144,12 +145,20 @@ func NewService(snap *Snapshot) *Service {
 // Current returns the snapshot queries are being answered from.
 func (s *Service) Current() *Snapshot { return s.snap.Load() }
 
-// Swap atomically installs a new snapshot and returns the previous one.
-// In-flight queries finish against whichever snapshot they loaded.
+// Swap atomically installs a new snapshot, announces its version on the
+// watch feed, and returns the previous snapshot. In-flight queries
+// finish against whichever snapshot they loaded.
 func (s *Service) Swap(snap *Snapshot) *Snapshot {
 	mSwaps.Inc()
-	return s.snap.Swap(snap)
+	prev := s.snap.Swap(snap)
+	s.feed.Publish(snap.Version)
+	return prev
 }
+
+// Watch subscribes to snapshot swaps: the returned channel receives the
+// new version after each Swap (coalescing under a slow reader). Cancel
+// with the returned func.
+func (s *Service) Watch() (<-chan string, func()) { return s.feed.Watch() }
 
 // Decide answers one query against the current snapshot.
 func (s *Service) Decide(q Query) Decision {
@@ -163,6 +172,14 @@ func (s *Service) Decide(q Query) Decision {
 // batches never straddle a Swap. Results are appended to out (pass a
 // pre-sized out[:0] to avoid allocation) and the filled slice returned.
 func (s *Service) DecideBatch(qs []Query, out []Decision) []Decision {
+	out, _ = s.DecideBatchVersioned(qs, out)
+	return out
+}
+
+// DecideBatchVersioned is DecideBatch plus the version of the snapshot
+// that answered — the whole batch, by construction. Fleet routing uses
+// the version to prove a scattered client batch never mixes snapshots.
+func (s *Service) DecideBatchVersioned(qs []Query, out []Decision) ([]Decision, string) {
 	s.queries.Add(uint64(len(qs)))
 	mBatchSize.Observe(uint64(len(qs)))
 	snap := s.snap.Load()
@@ -184,7 +201,7 @@ func (s *Service) DecideBatch(qs []Query, out []Decision) []Decision {
 			}
 		}
 	}
-	return out
+	return out, snap.Version
 }
 
 // Stats is a point-in-time view of the service.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/agents"
 	"repro/internal/aitxt"
@@ -66,7 +67,13 @@ type Snapshot struct {
 	hosts    int
 	agentIDs map[string]int
 	roster   []string
+	reused   int
 }
+
+// ReusedHosts reports how many hosts this snapshot shares, compiled,
+// with the Builder's Prev snapshot — the incremental-recompile hit
+// count. Zero for full builds.
+func (sn *Snapshot) ReusedHosts() int { return sn.reused }
 
 // lookup returns the compiled policy for host, folding case on a slow
 // path, or nil when the host is not in the snapshot.
@@ -133,6 +140,13 @@ type Builder struct {
 	// DefaultRoster. Queries for agents outside the roster are still
 	// answered correctly, just through the allocating slow path.
 	Roster []string
+	// Prev, when set, enables incremental recompilation: a staged host
+	// whose config is policy-equivalent to its compiled form in Prev
+	// (robots.txt equal under the normalized parse-cache key, everything
+	// else exactly equal) reuses Prev's compiled state instead of
+	// compiling. Sharing is safe because snapshots are immutable. Prev's
+	// roster must equal the builder's roster or it is ignored.
+	Prev *Snapshot
 
 	hosts   []string
 	configs []HostConfig
@@ -175,13 +189,38 @@ func (b *Builder) Build(ctx context.Context, version string, workers int) (*Snap
 		sn.agentIDs[a] = i
 	}
 
+	prev := b.Prev
+	if prev != nil && !rosterEqual(prev.roster, roster) {
+		prev = nil
+	}
+	var reused atomic.Int64
 	compiled := make([]*hostPolicy, len(b.hosts))
 	if err := par.Do(ctx, workers, len(b.hosts), func(start, end int) {
+		n := 0
 		for i := start; i < end; i++ {
+			if prev != nil {
+				if hp := prev.lookup(b.hosts[i]); hp != nil {
+					if r := reuseHost(hp, b.configs[i]); r != nil {
+						compiled[i] = r
+						n++
+						continue
+					}
+				}
+			}
 			compiled[i] = compileHost(b.configs[i], roster)
+		}
+		if n > 0 {
+			reused.Add(int64(n))
 		}
 	}); err != nil {
 		return nil, err
+	}
+	sn.reused = int(reused.Load())
+	if sn.reused > 0 {
+		mCompileReused.Add(uint64(sn.reused))
+	}
+	if fresh := len(b.hosts) - sn.reused; fresh > 0 {
+		mCompileFresh.Add(uint64(fresh))
 	}
 	for i, host := range b.hosts {
 		sh := &sn.shards[fnv1a(host)&sn.mask]
@@ -191,6 +230,53 @@ func (b *Builder) Build(ctx context.Context, version string, workers int) (*Snap
 		sh.hosts[host] = compiled[i]
 	}
 	return sn, nil
+}
+
+// rosterEqual reports whether two rosters precompile the same agents in
+// the same index order (the compiled access/blocked slices are
+// roster-indexed, so order matters).
+func rosterEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reuseHost returns a compiled policy equivalent to compiling cfg, built
+// from hp (a previous snapshot's compiled form of the same host), or nil
+// when cfg's policy may differ and must compile for real. robots.txt
+// bodies compare under the normalized parse-cache key — per-site comment
+// and Sitemap lines churn between corpus months without changing rule
+// semantics — while the other three mechanisms compare exactly.
+func reuseHost(hp *hostPolicy, cfg HostConfig) *hostPolicy {
+	old := hp.src
+	if old.AITxt != cfg.AITxt || old.MetaHTML != cfg.MetaHTML {
+		return nil
+	}
+	if len(old.Blocklist) != len(cfg.Blocklist) {
+		return nil
+	}
+	for i := range old.Blocklist {
+		if old.Blocklist[i] != cfg.Blocklist[i] {
+			return nil
+		}
+	}
+	if old.RobotsTxt == cfg.RobotsTxt {
+		return hp
+	}
+	if !robots.EqualNormalized(old.RobotsTxt, cfg.RobotsTxt) {
+		return nil
+	}
+	// Same rule semantics, different verbatim body: share the compiled
+	// state but carry the new source so Source() stays faithful.
+	cp := *hp
+	cp.src = cfg
+	return &cp
 }
 
 // compileHost turns one host's raw policy surface into its query form.

@@ -1,0 +1,156 @@
+package policyd
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// Snapshot-version watching: the invalidation half of a hot reload.
+//
+// A fleet client (the gateway, a cache, a loadgen process) needs to know
+// *when* a replica swapped snapshots, not just which snapshot answered
+// its last batch. VersionFeed is that channel: Swap publishes the new
+// snapshot's version to every subscriber, in-process through Watch and
+// over the wire through a deliberately tiny line protocol (ServeWatch) —
+// one version string per line, the current version written immediately
+// on connect. The protocol is identical over netsim duplex conns and
+// real TCP, so the same watcher code runs in-harness and in production
+// shape; it is the webhook-invalidation pattern with the connection
+// inverted (long-lived subscriber instead of server-push callbacks),
+// which needs no client-side listener.
+
+// VersionFeed fans out version announcements to subscribers. The zero
+// value is not usable; construct with NewVersionFeed.
+type VersionFeed struct {
+	mu       sync.Mutex
+	cur      string
+	seq      uint64
+	watchers map[uint64]chan string
+}
+
+// NewVersionFeed returns a feed whose current version is cur ("" when
+// not yet known).
+func NewVersionFeed(cur string) *VersionFeed {
+	return &VersionFeed{cur: cur, watchers: make(map[uint64]chan string)}
+}
+
+// Current returns the most recently published version.
+func (f *VersionFeed) Current() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur
+}
+
+// Publish announces v to every watcher; publishing the current version
+// again is a no-op. Slow watchers coalesce: when a subscriber's channel
+// is full the oldest pending version is dropped, so the latest version
+// always arrives but intermediate ones may not — exactly the semantics a
+// cache invalidation needs.
+func (f *VersionFeed) Publish(v string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v == f.cur {
+		return
+	}
+	f.cur = v
+	for _, ch := range f.watchers {
+		select {
+		case ch <- v:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- v:
+			default:
+			}
+		}
+	}
+}
+
+// Watch subscribes to version announcements. The returned channel
+// receives each published version (coalescing under a slow reader);
+// cancel unsubscribes and must be called to release the watcher.
+func (f *VersionFeed) Watch() (<-chan string, func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.seq
+	f.seq++
+	ch := make(chan string, 4)
+	f.watchers[id] = ch
+	cancel := func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		delete(f.watchers, id)
+	}
+	return ch, cancel
+}
+
+// Serve answers watch connections from ln until the listener closes,
+// returning the Accept error (net.ErrClosed on clean shutdown). Each
+// connection immediately receives the current version (when known) as
+// one line, then one line per subsequent Publish.
+func (f *VersionFeed) Serve(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go f.serveConn(c)
+	}
+}
+
+func (f *VersionFeed) serveConn(c net.Conn) {
+	defer c.Close()
+	ch, cancel := f.Watch()
+	defer cancel()
+	// The conn is write-only for the server; a returning read (EOF or
+	// error) means the client hung up and unblocks the select below.
+	done := make(chan struct{})
+	go func() {
+		var b [1]byte
+		for {
+			if _, err := c.Read(b[:]); err != nil {
+				close(done)
+				return
+			}
+		}
+	}()
+	if v := f.Current(); v != "" {
+		if _, err := c.Write(append([]byte(v), '\n')); err != nil {
+			return
+		}
+	}
+	for {
+		select {
+		case v := <-ch:
+			if _, err := c.Write(append([]byte(v), '\n')); err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// WatchVersions reads version lines from a watch connection, calling fn
+// for each until fn returns false (clean stop, nil error) or the
+// connection fails. Duplicate announcements are possible across a
+// subscribe race; treat each line as idempotent.
+func WatchVersions(c net.Conn, fn func(version string) bool) error {
+	sc := bufio.NewScanner(c)
+	for sc.Scan() {
+		if !fn(sc.Text()) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// ServeWatch serves the service's version feed on ln: the wire form of
+// Service.Watch, announcing every Swap to connected clients.
+func ServeWatch(ln net.Listener, svc *Service) error {
+	return svc.feed.Serve(ln)
+}

@@ -1,0 +1,109 @@
+package policyd
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// TestVersionFeedInProcess covers the in-process watch channel: current
+// version on subscribe, coalescing under a slow consumer, cancel
+// detaches.
+func TestVersionFeedInProcess(t *testing.T) {
+	f := NewVersionFeed("v1")
+	if f.Current() != "v1" {
+		t.Fatalf("Current %q", f.Current())
+	}
+
+	// In-process subscribers read Current themselves; the channel carries
+	// only subsequent announcements (serveConn adds the on-connect line
+	// for wire clients).
+	ch, cancel := f.Watch()
+	defer cancel()
+
+	// Publishing the current version is a no-op.
+	f.Publish("v1")
+	select {
+	case v := <-ch:
+		t.Fatalf("duplicate publish delivered %q", v)
+	default:
+	}
+
+	// A slow consumer never blocks Publish; it observes the latest value.
+	for i := 0; i < 100; i++ {
+		f.Publish("v2")
+		f.Publish("v3")
+	}
+	last := ""
+	for {
+		select {
+		case v := <-ch:
+			last = v
+			continue
+		default:
+		}
+		break
+	}
+	if last != "v3" {
+		t.Fatalf("coalesced tail %q, want v3", last)
+	}
+
+	cancel()
+	f.Publish("v4") // must not panic or block on the dead watcher
+}
+
+// TestWatchWire runs the line protocol over netsim: a subscriber hears
+// the current version on connect and each distinct swap afterwards, in
+// order.
+func TestWatchWire(t *testing.T) {
+	nw := netsim.New()
+	ln, err := nw.Listen("10.0.0.2", 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(mustSnap(t, "v1"))
+	go ServeWatch(ln, svc)
+
+	c, err := nw.Dial(context.Background(), "10.0.0.1", "10.0.0.2:82")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	lines := make(chan string, 8)
+	go WatchVersions(c, func(v string) bool {
+		lines <- v
+		return true
+	})
+	expect := func(want string) {
+		t.Helper()
+		select {
+		case v := <-lines:
+			if v != want {
+				t.Fatalf("watch line %q, want %q", v, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no watch line within 5s, want %q", want)
+		}
+	}
+
+	expect("v1")
+	svc.Swap(mustSnap(t, "v2"))
+	expect("v2")
+	svc.Swap(mustSnap(t, "v2")) // same version: silent
+	svc.Swap(mustSnap(t, "v3"))
+	expect("v3")
+}
+
+func mustSnap(t *testing.T, version string) *Snapshot {
+	t.Helper()
+	b := &Builder{}
+	b.Add("h.test", HostConfig{})
+	sn, err := b.Build(context.Background(), version, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sn
+}

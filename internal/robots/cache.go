@@ -217,6 +217,21 @@ func strippableLine(line string) bool {
 	return len(rest) > 0 && rest[0] == ':'
 }
 
+// EqualNormalized reports whether two robots.txt bodies are equivalent
+// under the cache's normalized content key: identical once whole-line
+// comments and Sitemap directives are stripped, and therefore identical
+// in rule semantics under every comment-transparent profile. Incremental
+// snapshot recompilation uses this to prove a host's policy unchanged
+// between corpus months without re-parsing either body; the common cases
+// (bit-identical, or sharing no strippable lines) compare without
+// allocating.
+func EqualNormalized(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return normalizeKey(a) == normalizeKey(b)
+}
+
 // Len returns the number of cached entries (including in-flight parses).
 func (c *Cache) Len() int {
 	c.mu.Lock()

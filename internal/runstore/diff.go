@@ -47,6 +47,15 @@ type MixDelta struct {
 	B      int64  `json:"b"`
 }
 
+// QuotaDelta is one changed per-tenant quota-ledger count between two
+// gateway-driven loadgen runs — a tenant-mix shift at the fleet edge.
+type QuotaDelta struct {
+	Tenant string `json:"tenant"`
+	Field  string `json:"field"` // granted | throttled | rate | burst
+	A      int64  `json:"a"`
+	B      int64  `json:"b"`
+}
+
 // ExperimentChange is one experiment whose stored output changed.
 type ExperimentChange struct {
 	ID string `json:"id"`
@@ -83,6 +92,7 @@ type Diff struct {
 	// FlipTotals counts every flip per field, even past the stored cap.
 	FlipTotals        map[string]int     `json:"flip_totals,omitempty"`
 	MixDeltas         []MixDelta         `json:"mix_deltas,omitempty"`
+	QuotaDeltas       []QuotaDelta       `json:"quota_deltas,omitempty"`
 	ExperimentChanges []ExperimentChange `json:"experiment_changes,omitempty"`
 
 	BenchDeltas  []BenchDelta `json:"bench_deltas,omitempty"`
@@ -96,7 +106,7 @@ type Diff struct {
 func (d *Diff) Empty() bool {
 	return len(d.VerdictMigrations) == 0 && len(d.MonthDeltas) == 0 &&
 		len(d.PolicyFlips) == 0 && len(d.MixDeltas) == 0 &&
-		len(d.ExperimentChanges) == 0
+		len(d.QuotaDeltas) == 0 && len(d.ExperimentChanges) == 0
 }
 
 // DiffRuns computes the semantic delta from a to b. Only segments both
@@ -109,6 +119,7 @@ func DiffRuns(a, b *Run) *Diff {
 	diffMonths(d, a, b)
 	diffSites(d, a, b)
 	diffMix(d, a, b)
+	diffQuotas(d, a, b)
 	diffExperiments(d, a, b)
 	diffBench(d, a, b)
 	if len(a.Metrics) > 0 && len(b.Metrics) > 0 {
@@ -274,6 +285,55 @@ func diffMix(d *Diff, a, b *Run) {
 	} {
 		if f.a != f.b {
 			d.MixDeltas = append(d.MixDeltas, MixDelta{Action: f.name, A: f.a, B: f.b})
+		}
+	}
+}
+
+func diffQuotas(d *Diff, a, b *Run) {
+	if a.Quotas == nil || b.Quotas == nil {
+		return
+	}
+	qa, qb := a.Quotas, b.Quotas
+	if qa.Rate != qb.Rate {
+		d.QuotaDeltas = append(d.QuotaDeltas, QuotaDelta{
+			Tenant: "(limiter)", Field: "rate", A: int64(qa.Rate), B: int64(qb.Rate)})
+	}
+	if qa.Burst != qb.Burst {
+		d.QuotaDeltas = append(d.QuotaDeltas, QuotaDelta{
+			Tenant: "(limiter)", Field: "burst", A: int64(qa.Burst), B: int64(qb.Burst)})
+	}
+	byTenant := func(ts []TenantQuota) map[string]TenantQuota {
+		m := make(map[string]TenantQuota, len(ts))
+		for _, t := range ts {
+			m[t.Tenant] = t
+		}
+		return m
+	}
+	am, bm := byTenant(qa.Tenants), byTenant(qb.Tenants)
+	names := make([]string, 0, len(am)+len(bm))
+	seen := make(map[string]struct{}, len(am)+len(bm))
+	for _, t := range qa.Tenants {
+		if _, ok := seen[t.Tenant]; !ok {
+			seen[t.Tenant] = struct{}{}
+			names = append(names, t.Tenant)
+		}
+	}
+	for _, t := range qb.Tenants {
+		if _, ok := seen[t.Tenant]; !ok {
+			seen[t.Tenant] = struct{}{}
+			names = append(names, t.Tenant)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ta, tb := am[n], bm[n] // zero value when absent: counts read 0
+		if ta.Granted != tb.Granted {
+			d.QuotaDeltas = append(d.QuotaDeltas, QuotaDelta{
+				Tenant: n, Field: "granted", A: int64(ta.Granted), B: int64(tb.Granted)})
+		}
+		if ta.Throttled != tb.Throttled {
+			d.QuotaDeltas = append(d.QuotaDeltas, QuotaDelta{
+				Tenant: n, Field: "throttled", A: int64(ta.Throttled), B: int64(tb.Throttled)})
 		}
 	}
 }

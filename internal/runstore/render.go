@@ -78,7 +78,7 @@ func (d *Diff) renderTabular(w io.Writer, md bool) error {
 	describe("  b", d.B)
 
 	if d.Empty() {
-		fmt.Fprintf(w, "\nsemantically identical (no verdict, month, policy, mix, or experiment deltas)\n")
+		fmt.Fprintf(w, "\nsemantically identical (no verdict, month, policy, mix, quota, or experiment deltas)\n")
 	}
 
 	if len(d.VerdictMigrations) > 0 {
@@ -134,6 +134,17 @@ func (d *Diff) renderTabular(w io.Writer, md bool) error {
 			})
 		}
 		table([]string{"action", "a", "b", "delta"}, rows)
+	}
+
+	if len(d.QuotaDeltas) > 0 {
+		section(fmt.Sprintf("Tenant quota shifts (%d)", len(d.QuotaDeltas)))
+		rows := make([][]string, 0, len(d.QuotaDeltas))
+		for _, q := range d.QuotaDeltas {
+			rows = append(rows, []string{
+				q.Tenant, q.Field, fmt.Sprint(q.A), fmt.Sprint(q.B), fmt.Sprintf("%+d", q.B-q.A),
+			})
+		}
+		table([]string{"tenant", "field", "a", "b", "delta"}, rows)
 	}
 
 	if len(d.ExperimentChanges) > 0 {

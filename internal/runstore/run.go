@@ -39,6 +39,7 @@ type Run struct {
 
 	Experiments []ExperimentRecord
 	Decisions   *DecisionMix
+	Quotas      *QuotaAccounting
 	Bench       map[string]BenchEntry
 
 	// Metrics is the raw end-of-run obs snapshot (metrics.json).
@@ -116,6 +117,13 @@ func LoadRunDir(dir string) (*Run, error) {
 	switch err := readJSONFile(filepath.Join(dir, decisionsFile), &mix); {
 	case err == nil:
 		r.Decisions = &mix
+	case !os.IsNotExist(err):
+		return nil, err
+	}
+	var quotas QuotaAccounting
+	switch err := readJSONFile(filepath.Join(dir, quotasFile), &quotas); {
+	case err == nil:
+		r.Quotas = &quotas
 	case !os.IsNotExist(err):
 		return nil, err
 	}

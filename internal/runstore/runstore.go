@@ -26,6 +26,7 @@ const (
 	summaryFile     = "summary.json"
 	experimentsFile = "experiments.ndjson"
 	decisionsFile   = "decisions.json"
+	quotasFile      = "quotas.json"
 	benchFile       = "bench.json"
 	metricsFile     = "metrics.json"
 )
@@ -37,7 +38,7 @@ const (
 // segments and excluded.
 var SemanticSegments = []string{
 	specFile, monthsFile, verdictsFile, sitesFile,
-	summaryFile, experimentsFile, decisionsFile,
+	summaryFile, experimentsFile, decisionsFile, quotasFile,
 }
 
 // MaxSitePlans bounds the per-site segment: a run with more sites than
@@ -273,6 +274,27 @@ type DecisionMix struct {
 	Wire   string `json:"wire,omitempty"`
 }
 
+// TenantQuota is one tenant's gateway quota ledger line. The JSON shape
+// mirrors internal/fleet's accounting exactly (the segment is written
+// from a /v1/quotas response body), but the type is duplicated here so
+// the store stays free of serving-layer imports.
+type TenantQuota struct {
+	Tenant    string `json:"tenant"`
+	Granted   uint64 `json:"granted"`
+	Throttled uint64 `json:"throttled"`
+}
+
+// QuotaAccounting is a gateway's end-of-run per-tenant quota ledger —
+// the fleet-layer semantic segment. For a seeded workload against a
+// fixed limiter spec the ledger is deterministic, so cross-run diffs
+// surface tenant-mix shifts the way decisions.json surfaces action-mix
+// shifts.
+type QuotaAccounting struct {
+	Rate    float64       `json:"rate"`
+	Burst   float64       `json:"burst,omitempty"`
+	Tenants []TenantQuota `json:"tenants"`
+}
+
 // ScenarioWriter persists one scenario run as the engine produces it.
 // It implements scenario.Observer: pass it to scenario.RunObserved or
 // TierOptions.Observer, then Close. Errors during observation are
@@ -503,8 +525,15 @@ func (w *ExperimentsWriter) Abort() {
 
 // SaveLoadgen stores a loadgen run: the semantic decision mix plus an
 // optional benchsnap-schema performance snapshot (attribution segment,
-// used for advisory bench deltas).
+// used for advisory bench deltas). Runs that drove a gateway attach its
+// quota ledger with SaveLoadgenQuotas.
 func (s *Store) SaveLoadgen(meta Meta, mix DecisionMix, bench []byte) (string, error) {
+	return s.SaveLoadgenQuotas(meta, mix, nil, bench)
+}
+
+// SaveLoadgenQuotas is SaveLoadgen plus the gateway's per-tenant quota
+// ledger as a second semantic segment (quotas.json); quotas may be nil.
+func (s *Store) SaveLoadgenQuotas(meta Meta, mix DecisionMix, quotas *QuotaAccounting, bench []byte) (string, error) {
 	meta.Records = int(mix.Issued)
 	dir, err := s.begin(&meta)
 	if err != nil {
@@ -513,6 +542,12 @@ func (s *Store) SaveLoadgen(meta Meta, mix DecisionMix, bench []byte) (string, e
 	if err := writeJSONFile(filepath.Join(dir, decisionsFile), mix); err != nil {
 		s.abort(dir)
 		return "", err
+	}
+	if quotas != nil {
+		if err := writeJSONFile(filepath.Join(dir, quotasFile), quotas); err != nil {
+			s.abort(dir)
+			return "", err
+		}
 	}
 	if len(bench) > 0 {
 		if err := os.WriteFile(filepath.Join(dir, benchFile), bench, 0o644); err != nil {
